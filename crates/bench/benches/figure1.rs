@@ -1,0 +1,12 @@
+//! Figure 1 bench: the scripted coherence scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("figure1/coherence_scenario", |b| {
+        b.iter(loadex_bench::figure1)
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Figure 2 bench: tree distribution over 4 processors.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("figure2/tree_distribution", |b| {
+        b.iter(loadex_bench::figure2)
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Micro-benchmarks of the mechanism state machines themselves: how fast
+//! each can absorb load changes and state messages (pure in-memory cost,
+//! no simulation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use loadex_core::{
+    ChangeOrigin, IncrementMechanism, Load, Mechanism, NaiveMechanism, Outbox,
+    SnapshotMechanism, StateMsg, Threshold,
+};
+use loadex_sim::ActorId;
+
+const N: usize = 64;
+const MSGS: u64 = 10_000;
+
+fn bench_local_changes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mech_local_changes");
+    g.throughput(Throughput::Elements(MSGS));
+    g.bench_function(BenchmarkId::from_parameter("naive"), |b| {
+        b.iter(|| {
+            let mut m = NaiveMechanism::new(ActorId(0), N, Threshold::new(100.0, 100.0));
+            let mut out = Outbox::new();
+            for i in 0..MSGS {
+                m.on_local_change(Load::work((i % 30) as f64), ChangeOrigin::Local, &mut out);
+                out.drain().count();
+            }
+            m.stats().msgs_sent
+        })
+    });
+    g.bench_function(BenchmarkId::from_parameter("increments"), |b| {
+        b.iter(|| {
+            let mut m = IncrementMechanism::new(ActorId(0), N, Threshold::new(100.0, 100.0));
+            let mut out = Outbox::new();
+            for i in 0..MSGS {
+                m.on_local_change(Load::work((i % 30) as f64), ChangeOrigin::Local, &mut out);
+                out.drain().count();
+            }
+            m.stats().msgs_sent
+        })
+    });
+    g.finish();
+}
+
+fn bench_state_messages(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mech_state_messages");
+    g.throughput(Throughput::Elements(MSGS));
+    g.bench_function("increments/update_delta", |b| {
+        b.iter(|| {
+            let mut m = IncrementMechanism::new(ActorId(0), N, Threshold::ZERO);
+            let mut out = Outbox::new();
+            for i in 0..MSGS {
+                let from = ActorId(1 + (i as usize % (N - 1)));
+                m.on_state_msg(from, StateMsg::UpdateDelta { delta: Load::work(1.0) }, &mut out);
+            }
+            m.view().total().work
+        })
+    });
+    g.finish();
+}
+
+fn bench_snapshot_round(c: &mut Criterion) {
+    c.bench_function("snapshot/full_round_64_procs", |b| {
+        b.iter(|| {
+            // One initiator + 63 responders exchanging a complete snapshot.
+            let mut mechs: Vec<SnapshotMechanism> =
+                (0..N).map(|i| SnapshotMechanism::new(ActorId(i), N)).collect();
+            let mut out = Outbox::new();
+            mechs[0].request_decision(&mut out);
+            let req: Vec<_> = out.drain().collect();
+            let start = &req[0].msg;
+            let mut answers = Vec::new();
+            for p in 1..N {
+                let mut o = Outbox::new();
+                mechs[p].on_state_msg(ActorId(0), start.clone(), &mut o);
+                answers.extend(o.drain().map(|m| (ActorId(p), m.msg)));
+            }
+            for (from, a) in answers {
+                let mut o = Outbox::new();
+                mechs[0].on_state_msg(from, a, &mut o);
+            }
+            let mut o = Outbox::new();
+            mechs[0].complete_decision(&[], &mut o);
+            mechs[0].stats().decisions
+        })
+    });
+}
+
+criterion_group!(benches, bench_local_changes, bench_state_messages, bench_snapshot_round);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table 4 bench: one memory-based factorization run per mechanism
+//! (scaled-down: TWOTONE on 16 processes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loadex_bench::config_for;
+use loadex_core::MechKind;
+use loadex_solver::{run_experiment, Strategy};
+use loadex_sparse::models::by_name;
+
+fn bench(c: &mut Criterion) {
+    let tree = by_name("TWOTONE").unwrap().build_tree();
+    let mut g = c.benchmark_group("table4_memory_based");
+    for mech in MechKind::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(mech), &mech, |b, &mech| {
+            let cfg = config_for(16)
+                .with_mechanism(mech)
+                .with_strategy(Strategy::MemoryBased);
+            b.iter(|| run_experiment(&tree, &cfg).mem_peak_millions())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Table 5 bench: workload-based factorization, increments vs snapshot
+//! (scaled-down: ULTRASOUND80 on 16 processes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loadex_bench::config_for;
+use loadex_core::MechKind;
+use loadex_solver::run_experiment;
+use loadex_sparse::models::by_name;
+
+fn bench(c: &mut Criterion) {
+    let tree = by_name("ULTRASOUND80").unwrap().build_tree();
+    let mut g = c.benchmark_group("table5_workload_based");
+    g.sample_size(10);
+    for mech in [MechKind::Increments, MechKind::Snapshot] {
+        g.bench_with_input(BenchmarkId::from_parameter(mech), &mech, |b, &mech| {
+            let cfg = config_for(16).with_mechanism(mech);
+            b.iter(|| run_experiment(&tree, &cfg).seconds())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

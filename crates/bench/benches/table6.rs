@@ -1,0 +1,26 @@
+//! Table 6 bench: message counting, increments vs snapshot (TWOTONE, 16p).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loadex_bench::config_for;
+use loadex_core::MechKind;
+use loadex_solver::run_experiment;
+use loadex_sparse::models::by_name;
+
+fn bench(c: &mut Criterion) {
+    let tree = by_name("TWOTONE").unwrap().build_tree();
+    let mut g = c.benchmark_group("table6_message_counts");
+    for mech in [MechKind::Increments, MechKind::Snapshot] {
+        g.bench_with_input(BenchmarkId::from_parameter(mech), &mech, |b, &mech| {
+            let cfg = config_for(16).with_mechanism(mech);
+            b.iter(|| run_experiment(&tree, &cfg).state_msgs)
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

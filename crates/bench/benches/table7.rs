@@ -1,0 +1,28 @@
+//! Table 7 bench: the threaded load-exchange variant (TWOTONE, 16p).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loadex_bench::config_for;
+use loadex_core::MechKind;
+use loadex_solver::{run_experiment, CommMode};
+use loadex_sparse::models::by_name;
+
+fn bench(c: &mut Criterion) {
+    let tree = by_name("TWOTONE").unwrap().build_tree();
+    let mut g = c.benchmark_group("table7_threaded");
+    for mech in [MechKind::Increments, MechKind::Snapshot] {
+        g.bench_with_input(BenchmarkId::from_parameter(mech), &mech, |b, &mech| {
+            let cfg = config_for(16)
+                .with_mechanism(mech)
+                .with_comm(CommMode::threaded_default());
+            b.iter(|| run_experiment(&tree, &cfg).seconds())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

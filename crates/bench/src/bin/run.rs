@@ -1,0 +1,144 @@
+//! Run a single factorization experiment with explicit knobs.
+//!
+//! ```text
+//! run --matrix AUDIKW_1 --procs 64 --mech snapshot --strategy workload \
+//!     [--threaded] [--partial K] [--no-nomaster] [--chunk-ms N] \
+//!     [--latency-us N] [--probe]
+//! ```
+
+use loadex_bench::config_for;
+use loadex_core::MechKind;
+use loadex_sim::SimDuration;
+use loadex_solver::{run_experiment, CommMode, Strategy};
+use loadex_sparse::models::by_name;
+
+fn main() {
+    let mut matrix = "TWOTONE".to_string();
+    let mut procs = 16usize;
+    let mut mech = MechKind::Increments;
+    let mut strategy = Strategy::WorkloadBased;
+    let mut threaded = false;
+    let mut partial: Option<usize> = None;
+    let mut nomaster = true;
+    let mut chunk_ms: Option<u64> = None;
+    let mut latency_us: Option<u64> = None;
+    let mut probe = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = || {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value after {a}");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match a.as_str() {
+            "--matrix" => matrix = next(),
+            "--procs" => procs = next().parse().expect("--procs N"),
+            "--mech" => {
+                mech = match next().as_str() {
+                    "naive" => MechKind::Naive,
+                    "increments" => MechKind::Increments,
+                    "snapshot" => MechKind::Snapshot,
+                    "periodic" => MechKind::Periodic,
+                    "gossip" => MechKind::Gossip,
+                    other => {
+                        eprintln!("unknown mechanism {other}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--strategy" => {
+                strategy = match next().as_str() {
+                    "memory" => Strategy::MemoryBased,
+                    "workload" => Strategy::WorkloadBased,
+                    other => {
+                        eprintln!("unknown strategy {other}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--threaded" => threaded = true,
+            "--partial" => partial = Some(next().parse().expect("--partial K")),
+            "--no-nomaster" => nomaster = false,
+            "--chunk-ms" => chunk_ms = Some(next().parse().expect("--chunk-ms N")),
+            "--latency-us" => latency_us = Some(next().parse().expect("--latency-us N")),
+            "--probe" => probe = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: run --matrix NAME --procs N --mech {{naive|increments|snapshot|periodic|gossip}} \
+                     --strategy {{memory|workload}} [--threaded] [--partial K] [--no-nomaster] \
+                     [--chunk-ms N] [--latency-us N] [--probe]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let Some(model) = by_name(&matrix) else {
+        eprintln!("unknown matrix {matrix}; known:");
+        for m in loadex_sparse::paper_matrices() {
+            eprintln!("  {}", m.name);
+        }
+        std::process::exit(2);
+    };
+
+    let mut cfg = config_for(procs).with_mechanism(mech).with_strategy(strategy);
+    if threaded {
+        cfg = cfg.with_comm(CommMode::threaded_default());
+    }
+    cfg.snapshot_candidates = partial;
+    cfg.no_more_master = nomaster;
+    if let Some(ms) = chunk_ms {
+        cfg.task_chunk = SimDuration::from_millis(ms);
+    }
+    if let Some(us) = latency_us {
+        cfg.network.latency = SimDuration::from_micros(us);
+    }
+    if probe {
+        cfg.coherence_probe = Some(SimDuration::from_millis(500));
+    }
+
+    let tree = model.build_tree();
+    eprintln!(
+        "running {} on {procs} procs: {} / {}{}{}",
+        model.name,
+        mech.name(),
+        strategy.name(),
+        if threaded { " / threaded" } else { "" },
+        partial.map(|k| format!(" / partial({k})")).unwrap_or_default(),
+    );
+    let r = run_experiment(&tree, &cfg);
+
+    println!("factorization time : {:.2} s", r.seconds());
+    println!("dynamic decisions  : {}", r.decisions);
+    println!("state messages     : {}", r.state_msgs);
+    println!("state bytes        : {}", r.state_bytes);
+    println!("app messages       : {}", r.app_msgs);
+    println!("memory peak        : {:.3} M entries", r.mem_peak_millions());
+    println!("efficiency         : {:.1} %", r.efficiency() * 100.0);
+    if mech == MechKind::Snapshot {
+        println!("snapshot time      : {:.2} s (union)", r.snapshot_union_time.as_secs_f64());
+        println!("snapshot concur.   : {}", r.snapshot_max_concurrent);
+        println!("snapshots started  : {}", r.snapshots_started);
+    }
+    if probe {
+        println!(
+            "view error (time)  : mean {:.3e} / max {:.3e} work units",
+            r.view_err_time_work.mean(),
+            r.view_err_time_work.max()
+        );
+    }
+    println!(
+        "view error (decis.): mean {:.3e} / max {:.3e} work units",
+        r.view_err_decision_work.mean(),
+        r.view_err_decision_work.max()
+    );
+}

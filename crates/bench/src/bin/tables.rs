@@ -1,0 +1,93 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! tables --all            # everything (several minutes)
+//! tables --table 3        # one table
+//! tables --figure 1       # one figure
+//! tables --ablations      # NoMoreMaster / latency / threshold ablations
+//! tables --quick          # reduced processor counts (smoke test)
+//! ```
+
+use loadex_bench as bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which_table: Option<u32> = None;
+    let mut which_figure: Option<u32> = None;
+    let mut all = args.is_empty();
+    let mut quick = false;
+    let mut ablations = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--all" => all = true,
+            "--quick" => quick = true,
+            "--ablations" => ablations = true,
+            "--table" => {
+                which_table = it.next().and_then(|v| v.parse().ok());
+            }
+            "--figure" => {
+                which_figure = it.next().and_then(|v| v.parse().ok());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: tables [--all] [--quick] [--ablations] [--table N] [--figure N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (p_small, p_large): (Vec<usize>, Vec<usize>) =
+        if quick { (vec![8], vec![16]) } else { (vec![32, 64], vec![64, 128]) };
+
+    let small = bench::small_set();
+    let large = bench::large_set();
+
+    let want = |n: u32| all || which_table == Some(n);
+    if want(1) || want(2) {
+        println!("{}", bench::table1_2().render());
+    }
+    if want(3) {
+        println!("{}", bench::table3().render());
+    }
+    if want(4) {
+        for &np in &p_small {
+            println!("{}", bench::table4(np, &small).render());
+        }
+    }
+    if want(5) {
+        for &np in &p_large {
+            println!("{}", bench::table5(np, &large).render());
+        }
+    }
+    if want(6) {
+        for &np in &p_large {
+            println!("{}", bench::table6(np, &large).render());
+        }
+    }
+    if want(7) {
+        for &np in &p_large {
+            println!("{}", bench::table7(np, &large).render());
+        }
+    }
+    let wantf = |n: u32| all || which_figure == Some(n);
+    if wantf(1) {
+        println!("== Figure 1: naive-mechanism coherence problem ==");
+        println!("{}", bench::figure1());
+    }
+    if wantf(2) {
+        println!("{}", bench::figure2().render());
+    }
+    if ablations || all {
+        let np = if quick { 16 } else { 64 };
+        println!("{}", bench::ablation_nomaster(np, &large).render());
+        println!("{}", bench::ablation_latency(np, &large[..1]).render());
+        println!("{}", bench::ablation_threshold(np, &large[0]).render());
+        println!("{}", bench::ablation_coherence(np, &large[0]).render());
+        println!("{}", bench::ablation_leader(np, &large[0]).render());
+        println!("{}", bench::ablation_partial_snapshot(np, &large[0]).render());
+        println!("{}", bench::extended_comparison(np, &large[0]).render());
+        println!("{}", bench::ablation_chunk(np, &large[2]).render());
+        println!("{}", bench::ablation_scalability(&large[2]).render());
+        println!("{}", bench::ablation_heterogeneous(np, &large[2]).render());
+    }
+}

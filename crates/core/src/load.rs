@@ -1,0 +1,190 @@
+//! Load quantities.
+//!
+//! The paper tracks two metrics per process (§4): the **workload** (number of
+//! floating-point operations still to be done, §4.2.2) and the **memory**
+//! (active memory in use, §4.2.1). Both are carried together in a [`Load`]
+//! value so a single mechanism instance serves both scheduling strategies.
+
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// A (workload, memory) pair. Units are flops and bytes (or "real entries",
+/// the unit used in the paper's Table 4 — the mechanisms are unit-agnostic).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Load {
+    /// Floating-point operations still to be done.
+    pub work: f64,
+    /// Memory currently in use.
+    pub mem: f64,
+}
+
+impl Load {
+    /// The zero load.
+    pub const ZERO: Load = Load { work: 0.0, mem: 0.0 };
+
+    /// Construct from components.
+    pub const fn new(work: f64, mem: f64) -> Load {
+        Load { work, mem }
+    }
+
+    /// A pure-workload quantity.
+    pub const fn work(work: f64) -> Load {
+        Load { work, mem: 0.0 }
+    }
+
+    /// A pure-memory quantity.
+    pub const fn mem(mem: f64) -> Load {
+        Load { work: 0.0, mem }
+    }
+
+    /// Component-wise absolute value.
+    pub fn abs(self) -> Load {
+        Load {
+            work: self.work.abs(),
+            mem: self.mem.abs(),
+        }
+    }
+
+    /// True if **any** component of `self` exceeds the corresponding
+    /// component of `thr` (the paper's "significant variation" test,
+    /// Algorithm 2 line 3 / Algorithm 3 line 8).
+    pub fn exceeds(self, thr: Threshold) -> bool {
+        self.work.abs() > thr.work || self.mem.abs() > thr.mem
+    }
+
+    /// True if both components are ≥ 0 (used for Algorithm 3's "δload > 0,
+    /// I am slave" suppression: an assignment of work to a slave increases
+    /// both metrics).
+    pub fn is_non_negative(self) -> bool {
+        self.work >= 0.0 && self.mem >= 0.0
+    }
+
+    /// True if both components are (approximately) zero.
+    pub fn is_zero(self) -> bool {
+        self.work == 0.0 && self.mem == 0.0
+    }
+}
+
+impl Add for Load {
+    type Output = Load;
+    #[inline]
+    fn add(self, o: Load) -> Load {
+        Load::new(self.work + o.work, self.mem + o.mem)
+    }
+}
+
+impl AddAssign for Load {
+    #[inline]
+    fn add_assign(&mut self, o: Load) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Load {
+    type Output = Load;
+    #[inline]
+    fn sub(self, o: Load) -> Load {
+        Load::new(self.work - o.work, self.mem - o.mem)
+    }
+}
+
+impl SubAssign for Load {
+    #[inline]
+    fn sub_assign(&mut self, o: Load) {
+        *self = *self - o;
+    }
+}
+
+impl Neg for Load {
+    type Output = Load;
+    #[inline]
+    fn neg(self) -> Load {
+        Load::new(-self.work, -self.mem)
+    }
+}
+
+impl Mul<f64> for Load {
+    type Output = Load;
+    #[inline]
+    fn mul(self, k: f64) -> Load {
+        Load::new(self.work * k, self.mem * k)
+    }
+}
+
+impl Sum for Load {
+    fn sum<I: Iterator<Item = Load>>(iter: I) -> Load {
+        iter.fold(Load::ZERO, |a, b| a + b)
+    }
+}
+
+/// Broadcast thresholds, one per metric (Algorithm 2 line 3).
+///
+/// §2.3: “it is consistent to choose a threshold of the same order as the
+/// granularity of the tasks appearing in the slave selections.”
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Threshold {
+    /// Workload threshold (flops).
+    pub work: f64,
+    /// Memory threshold.
+    pub mem: f64,
+}
+
+impl Threshold {
+    /// Broadcast on every nonzero variation (useful in tests).
+    pub const ZERO: Threshold = Threshold { work: 0.0, mem: 0.0 };
+
+    /// Construct from components.
+    pub const fn new(work: f64, mem: f64) -> Threshold {
+        Threshold { work, mem }
+    }
+}
+
+impl Default for Threshold {
+    fn default() -> Self {
+        Threshold::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Load::new(3.0, 4.0);
+        let b = Load::new(1.0, 2.0);
+        assert_eq!(a + b, Load::new(4.0, 6.0));
+        assert_eq!(a - b, Load::new(2.0, 2.0));
+        assert_eq!(-a, Load::new(-3.0, -4.0));
+        assert_eq!(a * 2.0, Load::new(6.0, 8.0));
+    }
+
+    #[test]
+    fn exceeds_is_per_component_or() {
+        let thr = Threshold::new(10.0, 10.0);
+        assert!(!Load::new(5.0, 5.0).exceeds(thr));
+        assert!(Load::new(11.0, 0.0).exceeds(thr));
+        assert!(Load::new(0.0, -11.0).exceeds(thr), "abs value is compared");
+        assert!(!Load::new(10.0, 10.0).exceeds(thr), "strict inequality");
+    }
+
+    #[test]
+    fn non_negative_and_zero() {
+        assert!(Load::new(1.0, 0.0).is_non_negative());
+        assert!(!Load::new(1.0, -0.1).is_non_negative());
+        assert!(Load::ZERO.is_zero());
+        assert!(!Load::work(1.0).is_zero());
+    }
+
+    #[test]
+    fn sum_of_loads() {
+        let total: Load = [Load::new(1.0, 2.0), Load::new(3.0, 4.0)].into_iter().sum();
+        assert_eq!(total, Load::new(4.0, 6.0));
+    }
+
+    #[test]
+    fn abs_is_component_wise() {
+        assert_eq!(Load::new(-1.0, 2.0).abs(), Load::new(1.0, 2.0));
+    }
+}

@@ -1,0 +1,102 @@
+//! Outgoing-message staging.
+//!
+//! Mechanisms emit messages into an [`Outbox`]; the embedding (simulator or
+//! thread runtime) drains it and performs the actual sends. This keeps the
+//! mechanisms transport-agnostic and makes their unit tests trivial: assert
+//! on the outbox contents.
+
+use crate::msg::StateMsg;
+use loadex_sim::ActorId;
+
+/// Where a staged message goes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dest {
+    /// A single process.
+    One(ActorId),
+    /// Every process except the sender.
+    AllOthers,
+}
+
+/// One staged outgoing message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OutMsg {
+    /// Destination.
+    pub dest: Dest,
+    /// Payload.
+    pub msg: StateMsg,
+}
+
+/// A buffer of staged outgoing state messages.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    msgs: Vec<OutMsg>,
+}
+
+impl Outbox {
+    /// An empty outbox.
+    pub fn new() -> Self {
+        Outbox { msgs: Vec::new() }
+    }
+
+    /// Stage a message for one destination.
+    pub fn send(&mut self, to: ActorId, msg: StateMsg) {
+        self.msgs.push(OutMsg {
+            dest: Dest::One(to),
+            msg,
+        });
+    }
+
+    /// Stage a broadcast to all other processes.
+    pub fn broadcast(&mut self, msg: StateMsg) {
+        self.msgs.push(OutMsg {
+            dest: Dest::AllOthers,
+            msg,
+        });
+    }
+
+    /// Drain all staged messages in emission order.
+    pub fn drain(&mut self) -> impl Iterator<Item = OutMsg> + '_ {
+        self.msgs.drain(..)
+    }
+
+    /// Staged messages (without draining), for assertions.
+    pub fn peek(&self) -> &[OutMsg] {
+        &self.msgs
+    }
+
+    /// Number of staged messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Whether nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::Load;
+
+    #[test]
+    fn stage_and_drain_preserves_order() {
+        let mut ob = Outbox::new();
+        ob.send(ActorId(1), StateMsg::EndSnp);
+        ob.broadcast(StateMsg::Update { load: Load::ZERO });
+        assert_eq!(ob.len(), 2);
+        let drained: Vec<_> = ob.drain().collect();
+        assert_eq!(drained[0].dest, Dest::One(ActorId(1)));
+        assert_eq!(drained[1].dest, Dest::AllOthers);
+        assert!(ob.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut ob = Outbox::new();
+        ob.send(ActorId(0), StateMsg::NoMoreMaster);
+        assert_eq!(ob.peek().len(), 1);
+        assert_eq!(ob.peek().len(), 1);
+    }
+}

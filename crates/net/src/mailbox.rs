@@ -1,0 +1,152 @@
+//! The receive-side queue pair.
+//!
+//! Algorithm 1 of the paper polls in strict priority order: state-information
+//! messages first, then regular messages, then local work. [`Mailbox`]
+//! encodes exactly that order.
+
+use crate::channel::{Channel, Envelope};
+use std::collections::VecDeque;
+
+/// Per-process incoming message queues, one per logical channel.
+#[derive(Debug)]
+pub struct Mailbox<M> {
+    state: VecDeque<Envelope<M>>,
+    regular: VecDeque<Envelope<M>>,
+    received_state: u64,
+    received_regular: u64,
+}
+
+impl<M> Default for Mailbox<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> Mailbox<M> {
+    /// An empty mailbox.
+    pub fn new() -> Self {
+        Mailbox {
+            state: VecDeque::new(),
+            regular: VecDeque::new(),
+            received_state: 0,
+            received_regular: 0,
+        }
+    }
+
+    /// Deposit a delivered message.
+    pub fn push(&mut self, env: Envelope<M>) {
+        match env.channel {
+            Channel::State => {
+                self.received_state += 1;
+                self.state.push_back(env);
+            }
+            Channel::Regular => {
+                self.received_regular += 1;
+                self.regular.push_back(env);
+            }
+        }
+    }
+
+    /// Next state-channel message, if any (Algorithm 1, line 2).
+    pub fn pop_state(&mut self) -> Option<Envelope<M>> {
+        self.state.pop_front()
+    }
+
+    /// Next regular-channel message, if any (Algorithm 1, line 4).
+    pub fn pop_regular(&mut self) -> Option<Envelope<M>> {
+        self.regular.pop_front()
+    }
+
+    /// Next message in priority order: state first, then regular.
+    pub fn pop_any(&mut self) -> Option<Envelope<M>> {
+        self.pop_state().or_else(|| self.pop_regular())
+    }
+
+    /// Whether a state-channel message is pending.
+    pub fn has_state(&self) -> bool {
+        !self.state.is_empty()
+    }
+
+    /// Whether a regular-channel message is pending.
+    pub fn has_regular(&self) -> bool {
+        !self.regular.is_empty()
+    }
+
+    /// Whether any message is pending.
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty() && self.regular.is_empty()
+    }
+
+    /// Pending message count across both channels.
+    pub fn len(&self) -> usize {
+        self.state.len() + self.regular.len()
+    }
+
+    /// Total state messages ever received.
+    pub fn received_state(&self) -> u64 {
+        self.received_state
+    }
+
+    /// Total regular messages ever received.
+    pub fn received_regular(&self) -> u64 {
+        self.received_regular
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loadex_sim::ActorId;
+
+    fn env(channel: Channel, tag: u32) -> Envelope<u32> {
+        Envelope::new(ActorId(0), ActorId(1), channel, 4, tag)
+    }
+
+    #[test]
+    fn state_messages_have_priority() {
+        let mut mb = Mailbox::new();
+        mb.push(env(Channel::Regular, 1));
+        mb.push(env(Channel::State, 2));
+        mb.push(env(Channel::Regular, 3));
+        mb.push(env(Channel::State, 4));
+        let order: Vec<u32> = std::iter::from_fn(|| mb.pop_any().map(|e| e.msg)).collect();
+        assert_eq!(order, vec![2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn fifo_within_a_channel() {
+        let mut mb = Mailbox::new();
+        for i in 0..5 {
+            mb.push(env(Channel::State, i));
+        }
+        for i in 0..5 {
+            assert_eq!(mb.pop_state().unwrap().msg, i);
+        }
+        assert!(mb.pop_state().is_none());
+    }
+
+    #[test]
+    fn flags_and_counts() {
+        let mut mb = Mailbox::new();
+        assert!(mb.is_empty());
+        mb.push(env(Channel::State, 0));
+        mb.push(env(Channel::Regular, 1));
+        assert!(mb.has_state());
+        assert!(mb.has_regular());
+        assert_eq!(mb.len(), 2);
+        mb.pop_any();
+        mb.pop_any();
+        assert!(mb.is_empty());
+        assert_eq!(mb.received_state(), 1);
+        assert_eq!(mb.received_regular(), 1);
+    }
+
+    #[test]
+    fn pop_regular_skips_state() {
+        let mut mb = Mailbox::new();
+        mb.push(env(Channel::State, 7));
+        mb.push(env(Channel::Regular, 8));
+        assert_eq!(mb.pop_regular().unwrap().msg, 8);
+        assert_eq!(mb.pop_state().unwrap().msg, 7);
+    }
+}

@@ -1,0 +1,112 @@
+//! Network cost model.
+//!
+//! The paper ran on the IBM SP of IDRIS, a "very high bandwidth / low
+//! latency" machine (§4.5), and explicitly discusses how the conclusions
+//! would change on high-latency networks. We therefore expose latency and
+//! bandwidth as first-class parameters so the experiment harness can sweep
+//! them (the §5 discussion of high-latency links becomes an ablation).
+
+use loadex_sim::SimDuration;
+
+/// Point-to-point message cost model: `latency + size/bandwidth + overhead`.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkModel {
+    /// One-way wire latency per message.
+    pub latency: SimDuration,
+    /// Link bandwidth in bytes per second. `f64::INFINITY` disables the
+    /// size-dependent term.
+    pub bandwidth: f64,
+    /// Fixed per-message software overhead on the sender side (packing,
+    /// library call). Added to the transfer time.
+    pub overhead: SimDuration,
+}
+
+impl NetworkModel {
+    /// A model approximating the paper's platform: a few microseconds of
+    /// latency, ~350 MB/s per link (IBM SP switch class), 1 µs overhead.
+    pub fn ibm_sp_like() -> Self {
+        NetworkModel {
+            latency: SimDuration::from_micros(5),
+            bandwidth: 350e6,
+            overhead: SimDuration::from_micros(1),
+        }
+    }
+
+    /// A high-latency cluster (e.g. Ethernet WAN-ish): 100 µs latency,
+    /// 100 MB/s.
+    pub fn high_latency() -> Self {
+        NetworkModel {
+            latency: SimDuration::from_micros(100),
+            bandwidth: 100e6,
+            overhead: SimDuration::from_micros(5),
+        }
+    }
+
+    /// An idealized zero-cost network (useful in unit tests: pure ordering
+    /// semantics, no timing effects).
+    pub fn ideal() -> Self {
+        NetworkModel {
+            latency: SimDuration::ZERO,
+            bandwidth: f64::INFINITY,
+            overhead: SimDuration::ZERO,
+        }
+    }
+
+    /// Total time between send and delivery for a `size`-byte message.
+    pub fn transfer_time(&self, size: u64) -> SimDuration {
+        let bw = if self.bandwidth.is_finite() && self.bandwidth > 0.0 {
+            SimDuration::from_secs_f64(size as f64 / self.bandwidth)
+        } else {
+            SimDuration::ZERO
+        };
+        self.latency + bw + self.overhead
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel::ibm_sp_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_network_is_free() {
+        let m = NetworkModel::ideal();
+        assert_eq!(m.transfer_time(1_000_000), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let m = NetworkModel {
+            latency: SimDuration::from_micros(10),
+            bandwidth: 1e9, // 1 GB/s
+            overhead: SimDuration::ZERO,
+        };
+        let t_small = m.transfer_time(1_000); // 1 µs of wire time
+        let t_large = m.transfer_time(1_000_000); // 1 ms of wire time
+        assert_eq!(t_small.as_nanos(), 10_000 + 1_000);
+        assert_eq!(t_large.as_nanos(), 10_000 + 1_000_000);
+    }
+
+    #[test]
+    fn zero_bandwidth_means_no_bandwidth_term() {
+        let m = NetworkModel {
+            latency: SimDuration::from_micros(1),
+            bandwidth: 0.0,
+            overhead: SimDuration::ZERO,
+        };
+        assert_eq!(m.transfer_time(u64::MAX), SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        let sp = NetworkModel::ibm_sp_like();
+        let hl = NetworkModel::high_latency();
+        assert!(hl.latency > sp.latency);
+        assert!(hl.bandwidth < sp.bandwidth);
+    }
+}

@@ -1,0 +1,152 @@
+//! Optional event tracing for debugging simulation runs.
+//!
+//! A [`Trace`] is a bounded ring buffer of timestamped records. It is cheap
+//! enough to keep enabled in tests; experiment runs disable it by using
+//! [`Trace::disabled`].
+
+use crate::engine::ActorId;
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// One trace record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// When the event happened.
+    pub time: SimTime,
+    /// Which actor it concerns.
+    pub actor: ActorId,
+    /// Static category tag (e.g. `"send"`, `"recv"`, `"task_start"`).
+    pub tag: &'static str,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// A bounded trace ring buffer.
+#[derive(Debug)]
+pub struct Trace {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A trace keeping at most `capacity` records (oldest dropped first).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            records: VecDeque::new(),
+            capacity,
+            enabled: true,
+            dropped: 0,
+        }
+    }
+
+    /// A disabled trace: `record` becomes a no-op.
+    pub fn disabled() -> Self {
+        Trace {
+            records: VecDeque::new(),
+            capacity: 0,
+            enabled: false,
+            dropped: 0,
+        }
+    }
+
+    /// Whether records are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Append a record (no-op when disabled).
+    pub fn record(&mut self, time: SimTime, actor: ActorId, tag: &'static str, detail: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord {
+            time,
+            actor,
+            tag,
+            detail: detail.into(),
+        });
+    }
+
+    /// Records currently retained, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Number of records dropped due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained records with a given tag.
+    pub fn with_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceRecord> {
+        self.records.iter().filter(move |r| r.tag == tag)
+    }
+
+    /// Render the retained records as a human-readable multi-line string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&format!("{} {} [{}] {}\n", r.time, r.actor, r.tag, r.detail));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_kept_in_order() {
+        let mut t = Trace::with_capacity(10);
+        t.record(SimTime(1), ActorId(0), "a", "x");
+        t.record(SimTime(2), ActorId(1), "b", "y");
+        let tags: Vec<_> = t.records().map(|r| r.tag).collect();
+        assert_eq!(tags, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let mut t = Trace::with_capacity(2);
+        for i in 0..5 {
+            t.record(SimTime(i), ActorId(0), "e", i.to_string());
+        }
+        assert_eq!(t.dropped(), 3);
+        let details: Vec<_> = t.records().map(|r| r.detail.clone()).collect();
+        assert_eq!(details, vec!["3", "4"]);
+    }
+
+    #[test]
+    fn disabled_trace_is_noop() {
+        let mut t = Trace::disabled();
+        t.record(SimTime(1), ActorId(0), "a", "x");
+        assert_eq!(t.records().count(), 0);
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn filter_by_tag() {
+        let mut t = Trace::with_capacity(10);
+        t.record(SimTime(1), ActorId(0), "send", "m1");
+        t.record(SimTime(2), ActorId(0), "recv", "m1");
+        t.record(SimTime(3), ActorId(1), "send", "m2");
+        assert_eq!(t.with_tag("send").count(), 2);
+        assert_eq!(t.with_tag("recv").count(), 1);
+    }
+
+    #[test]
+    fn render_contains_fields() {
+        let mut t = Trace::with_capacity(4);
+        t.record(SimTime(1_000_000_000), ActorId(2), "task", "start f3");
+        let s = t.render();
+        assert!(s.contains("P2"));
+        assert!(s.contains("[task]"));
+        assert!(s.contains("start f3"));
+    }
+}

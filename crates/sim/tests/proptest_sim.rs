@@ -1,0 +1,88 @@
+//! Property tests for the simulation substrate.
+
+use loadex_sim::{EventQueue, SimDuration, SimRng, SimTime, TimeWeightedGauge, Welford};
+use proptest::prelude::*;
+
+proptest! {
+    /// The calendar pops events in nondecreasing time order, FIFO at ties.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (seq, &t) in times.iter().enumerate() {
+            q.push(SimTime(t), seq);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, seq)) = q.pop() {
+            popped.push((t, seq));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO violated at equal times");
+            }
+        }
+    }
+
+    /// `next_below` is always in range and deterministic per seed.
+    #[test]
+    fn rng_bounds_and_determinism(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut a = SimRng::seed_from_u64(seed);
+        let mut b = SimRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let x = a.next_below(n);
+            prop_assert!(x < n);
+            prop_assert_eq!(x, b.next_below(n));
+        }
+    }
+
+    /// The time-weighted gauge's average matches a straightforward
+    /// piecewise-constant reference.
+    #[test]
+    fn gauge_average_matches_reference(
+        steps in prop::collection::vec((1u64..1000, -50.0f64..50.0), 1..50)
+    ) {
+        let mut g = TimeWeightedGauge::new(SimTime::ZERO, 0.0);
+        let mut now = SimTime::ZERO;
+        let mut integral = 0.0;
+        let mut value = 0.0;
+        for &(dt, v) in &steps {
+            let d = SimDuration::from_nanos(dt);
+            integral += value * d.as_secs_f64();
+            now = now + d;
+            g.set(now, v);
+            value = v;
+        }
+        let expected = integral / now.since(SimTime::ZERO).as_secs_f64();
+        let got = g.time_average(now);
+        prop_assert!((got - expected).abs() < 1e-9 * (1.0 + expected.abs()),
+            "got {got}, expected {expected}");
+    }
+
+    /// Welford statistics agree with naive two-pass computation.
+    #[test]
+    fn welford_matches_two_pass(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut w = Welford::default();
+        for &x in &xs {
+            w.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((w.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((w.variance() - var).abs() <= 1e-5 * (1.0 + var.abs()));
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(w.min(), min);
+        prop_assert_eq!(w.max(), max);
+    }
+
+    /// Splitting an RNG yields streams that do not echo the parent.
+    #[test]
+    fn rng_split_streams_differ(seed in any::<u64>()) {
+        let mut parent = SimRng::seed_from_u64(seed);
+        let mut child = parent.split();
+        let same = (0..64).filter(|_| parent.next_u64() == child.next_u64()).count();
+        prop_assert!(same < 8);
+    }
+}

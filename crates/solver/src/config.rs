@@ -1,0 +1,203 @@
+//! Experiment configuration.
+
+use loadex_core::{LeaderPolicy, MechKind, Threshold};
+use loadex_net::NetworkModel;
+use loadex_sim::SimDuration;
+
+/// Which dynamic scheduling strategy drives slave/task selection (§4.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Strategy {
+    /// §4.2.1: slaves chosen for the best memory balance; task selection is
+    /// memory-aware.
+    MemoryBased,
+    /// §4.2.2: slaves chosen for the best workload balance.
+    WorkloadBased,
+}
+
+impl Strategy {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::MemoryBased => "memory-based",
+            Strategy::WorkloadBased => "workload-based",
+        }
+    }
+}
+
+/// How state messages are serviced (§4.5).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CommMode {
+    /// The paper's base model: a process cannot treat a message and compute
+    /// simultaneously; messages are drained at task boundaries.
+    MainLoop,
+    /// The §4.5 threaded variant: a dedicated communication thread checks the
+    /// state channel with the given period (the paper fixes 50 µs) and can
+    /// pause the computation while a snapshot is in progress.
+    CommThread {
+        /// Polling period of the communication thread.
+        period: SimDuration,
+    },
+}
+
+impl CommMode {
+    /// The paper's threaded configuration (50 µs poll period).
+    pub fn threaded_default() -> CommMode {
+        CommMode::CommThread {
+            period: SimDuration::from_micros(50),
+        }
+    }
+}
+
+/// Full configuration of a factorization run.
+#[derive(Clone, Debug)]
+pub struct SolverConfig {
+    /// Number of processes.
+    pub nprocs: usize,
+    /// Which load-exchange mechanism to use.
+    pub mechanism: MechKind,
+    /// Scheduling strategy.
+    pub strategy: Strategy,
+    /// State-message servicing model.
+    pub comm: CommMode,
+    /// Broadcast thresholds of the maintained-view mechanisms. §2.3 advises
+    /// “a threshold of the same order as the granularity of the tasks”; the
+    /// harness derives it from the tree when `None`.
+    pub threshold: Option<Threshold>,
+    /// §2.3 `NoMoreMaster` optimisation.
+    pub no_more_master: bool,
+    /// Network cost model.
+    pub network: NetworkModel,
+    /// Per-process compute speed in flops/second.
+    pub speed_flops: f64,
+    /// Heterogeneous platform (§4's suggested extension): per-process speed
+    /// multipliers applied on top of [`SolverConfig::speed_flops`]. Empty =
+    /// homogeneous. Must have `nprocs` entries otherwise.
+    pub speed_factors: Vec<f64>,
+    /// Time to treat one state message in the main loop (single-threaded
+    /// receive overhead; the threaded variant services them concurrently).
+    pub state_msg_cost: SimDuration,
+    /// Time to treat one application message (unpack, assemble).
+    pub app_msg_cost: SimDuration,
+    /// Minimum rows of a slave share (granularity floor: “there are
+    /// granularity constraints on the sizes of the subtasks”, §4.2.2).
+    pub kmin_rows: u32,
+    /// Maximum rows of a slave share (internal communication buffer limit).
+    pub kmax_rows: u32,
+    /// Fronts at least this large (and with a splittable remainder) above
+    /// the subtree layer become Type 2 parallel nodes.
+    pub type2_min_front: u32,
+    /// Root fronts at least this large become the 2D-cyclic Type 3 node.
+    pub type3_min_front: u32,
+    /// Proportional-mapping oversubscription: the subtree layer is deepened
+    /// until no subtree exceeds `total_flops / (alpha · nprocs)`.
+    pub mapping_alpha: f64,
+    /// Memory-aware task selection relaxation: a ready task is skipped if it
+    /// would push this process beyond `relax ×` the believed average memory
+    /// (memory-based strategy only).
+    pub mem_relax: f64,
+    /// Compute interruption granularity: long tasks reach a message-handling
+    /// boundary at least this often (collapsed subtree tasks and large
+    /// fronts are processed panel-by-panel in MUMPS, so real task boundaries
+    /// are frequent). `SimDuration::ZERO` disables chunking: a task then
+    /// blocks messages until it fully completes.
+    pub task_chunk: SimDuration,
+    /// Instrumentation: when set, the engine samples every process's view
+    /// error against the ground truth with this period (the "coherence" the
+    /// paper's mechanisms trade off against traffic). Decision-time errors
+    /// are always recorded.
+    pub coherence_probe: Option<SimDuration>,
+    /// Leader-election criterion for the snapshot mechanism (a §5
+    /// perspective: the paper conjectures the criterion matters).
+    pub leader_policy: LeaderPolicy,
+    /// §5 extension: when set, snapshots are **partial** — each decision
+    /// queries (and synchronizes) only this many candidate processes, chosen
+    /// as the least loaded in the master's current view; slaves are then
+    /// selected among those candidates only.
+    pub snapshot_candidates: Option<usize>,
+    /// Heartbeat period of the [`MechKind::Periodic`] extension mechanism.
+    pub periodic_interval: SimDuration,
+    /// Round period of the [`MechKind::Gossip`] extension mechanism.
+    pub gossip_interval: SimDuration,
+    /// Peers contacted per gossip round.
+    pub gossip_fanout: usize,
+    /// Record per-process activity timelines (see
+    /// [`RunReport::render_gantt`](crate::report::RunReport::render_gantt)).
+    pub record_timeline: bool,
+}
+
+impl SolverConfig {
+    /// A baseline configuration for `nprocs` processes with the increments
+    /// mechanism and the workload strategy (MUMPS ≥ 4.3 defaults).
+    pub fn new(nprocs: usize) -> Self {
+        SolverConfig {
+            nprocs,
+            mechanism: MechKind::Increments,
+            strategy: Strategy::WorkloadBased,
+            comm: CommMode::MainLoop,
+            threshold: None,
+            no_more_master: true,
+            network: NetworkModel::ibm_sp_like(),
+            speed_flops: 5.0e7,
+            speed_factors: Vec::new(),
+            state_msg_cost: SimDuration::from_micros(2),
+            app_msg_cost: SimDuration::from_micros(5),
+            kmin_rows: 150,
+            kmax_rows: 4096,
+            type2_min_front: 200,
+            type3_min_front: 1000,
+            mapping_alpha: 4.0,
+            mem_relax: 1.6,
+            task_chunk: SimDuration::from_millis(1500),
+            coherence_probe: None,
+            leader_policy: LeaderPolicy::MinRank,
+            snapshot_candidates: None,
+            periodic_interval: SimDuration::from_millis(100),
+            gossip_interval: SimDuration::from_millis(100),
+            gossip_fanout: 2,
+            record_timeline: false,
+        }
+    }
+
+    /// Builder-style: set the mechanism.
+    pub fn with_mechanism(mut self, m: MechKind) -> Self {
+        self.mechanism = m;
+        self
+    }
+
+    /// Builder-style: set the strategy.
+    pub fn with_strategy(mut self, s: Strategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Builder-style: set the comm mode.
+    pub fn with_comm(mut self, c: CommMode) -> Self {
+        self.comm = c;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SolverConfig::new(32);
+        assert_eq!(c.nprocs, 32);
+        assert!(c.kmin_rows < c.kmax_rows);
+        assert!(c.type2_min_front < c.type3_min_front);
+        assert!(c.speed_flops > 0.0);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = SolverConfig::new(8)
+            .with_mechanism(MechKind::Snapshot)
+            .with_strategy(Strategy::MemoryBased)
+            .with_comm(CommMode::threaded_default());
+        assert_eq!(c.mechanism, MechKind::Snapshot);
+        assert_eq!(c.strategy, Strategy::MemoryBased);
+        assert!(matches!(c.comm, CommMode::CommThread { .. }));
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! # loadex-solver — a MUMPS-like asynchronous multifrontal solver simulator
+//!
+//! This crate reproduces the *application* of the paper (§4): an
+//! asynchronous parallel multifrontal factorization with distributed dynamic
+//! scheduling, running on the `loadex-sim` discrete-event engine and
+//! exchanging load information through the `loadex-core` mechanisms.
+//!
+//! The pieces, mirroring §4.1–4.2:
+//!
+//! * [`mapping`] — the static phase: Geist–Ng-style proportional mapping of
+//!   leaf subtrees, Type 1/2/3 classification, static master assignment
+//!   balancing factor memory.
+//! * [`sched`] — the dynamic phase: **memory-based** (§4.2.1) and
+//!   **workload-based** (§4.2.2) slave selection by irregular 1D row
+//!   blocking with granularity constraints, plus memory-aware task
+//!   selection.
+//! * [`engine`] — Algorithm 1 per process: receive state messages first,
+//!   then application messages, else compute; masters open a dynamic
+//!   decision at every Type 2 activation. Supports the single-threaded model
+//!   (a process cannot compute and communicate simultaneously) and the §4.5
+//!   threaded variant (a communication thread polls the state channel every
+//!   50 µs and pauses the computation during snapshots).
+//! * [`report`] — everything the paper's tables measure: factorization time,
+//!   per-process active-memory peaks, state-message counts, decision counts,
+//!   snapshot time breakdowns.
+//! * [`run`] — one-call experiment entry point.
+
+pub mod config;
+pub mod engine;
+pub mod mapping;
+pub mod report;
+pub mod run;
+pub mod sched;
+
+pub use config::{CommMode, SolverConfig, Strategy};
+pub use mapping::{NodeType, TreePlan};
+pub use report::RunReport;
+pub use run::run_experiment;

@@ -1,0 +1,206 @@
+//! Run statistics: everything the paper's tables measure.
+
+use loadex_sim::{SimDuration, SimTime, StatSet, Welford};
+
+/// What a process was doing during a timeline interval.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Activity {
+    /// Waiting for messages or work.
+    Idle,
+    /// Computing a task chunk.
+    Busy,
+    /// Blocked in the snapshot protocol.
+    Blocked,
+}
+
+/// A per-process activity timeline: `(transition time, new activity)`,
+/// ascending. Recorded when
+/// [`SolverConfig::record_timeline`](crate::config::SolverConfig) is set.
+pub type Timeline = Vec<(SimTime, Activity)>;
+
+/// Per-process statistics of one run.
+#[derive(Clone, Debug, Default)]
+pub struct ProcReport {
+    /// Peak active memory in entries (Table 4 reports the max over
+    /// processes, in millions of real entries).
+    pub mem_peak_entries: f64,
+    /// Active memory left at the end of the run (should be ~0: fronts freed,
+    /// contribution blocks consumed; factors are not active memory).
+    pub mem_final_entries: f64,
+    /// State messages sent by this process's mechanism.
+    pub state_msgs_sent: u64,
+    /// State-message bytes sent.
+    pub state_bytes_sent: u64,
+    /// Dynamic decisions taken (Type 2 masters only).
+    pub decisions: u64,
+    /// Time spent computing tasks.
+    pub busy: SimDuration,
+    /// Time spent blocked in snapshot mode.
+    pub blocked: SimDuration,
+}
+
+/// Aggregate report of one factorization run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Simulated factorization (makespan) time — Tables 5 and 7.
+    pub factor_time: SimTime,
+    /// Per-process details.
+    pub procs: Vec<ProcReport>,
+    /// Total dynamic decisions — Table 3.
+    pub decisions: u64,
+    /// Total state messages — Table 6.
+    pub state_msgs: u64,
+    /// Total state-message bytes.
+    pub state_bytes: u64,
+    /// Total application (task/data) messages.
+    pub app_msgs: u64,
+    /// Union of the intervals during which at least one snapshot was in
+    /// flight (§4.5: "the total time spent to perform all the snapshot
+    /// operations").
+    pub snapshot_union_time: SimDuration,
+    /// Maximum number of concurrently initiated snapshots (§4.5 reports "at
+    /// most 5").
+    pub snapshot_max_concurrent: u32,
+    /// Snapshots initiated in total (including rebroadcasts).
+    pub snapshots_started: u64,
+    /// Extra named counters (mechanism message kinds etc.).
+    pub counters: StatSet,
+    /// View error |view_p(q) − true(q)| in workload units, sampled uniformly
+    /// in time over all (p, q) pairs (needs `coherence_probe`).
+    pub view_err_time_work: Welford,
+    /// Same, memory units.
+    pub view_err_time_mem: Welford,
+    /// View error sampled at each dynamic decision, master's view only — the
+    /// error that actually feeds the schedulers.
+    pub view_err_decision_work: Welford,
+    /// Same, memory units.
+    pub view_err_decision_mem: Welford,
+    /// Per-process activity timelines (empty unless recording was enabled).
+    pub timelines: Vec<Timeline>,
+}
+
+impl RunReport {
+    /// Peak active memory over all processes, in raw entries (Table 4).
+    pub fn mem_peak_entries(&self) -> f64 {
+        self.procs.iter().map(|p| p.mem_peak_entries).fold(0.0, f64::max)
+    }
+
+    /// Peak active memory over all processes, in millions of entries — the
+    /// exact unit of Table 4.
+    pub fn mem_peak_millions(&self) -> f64 {
+        self.mem_peak_entries() / 1e6
+    }
+
+    /// Average compute efficiency: busy time / makespan, averaged over
+    /// processes.
+    pub fn efficiency(&self) -> f64 {
+        if self.factor_time == SimTime::ZERO || self.procs.is_empty() {
+            return 0.0;
+        }
+        let total = self.factor_time.as_secs_f64() * self.procs.len() as f64;
+        let busy: f64 = self.procs.iter().map(|p| p.busy.as_secs_f64()).sum();
+        busy / total
+    }
+
+    /// Time in seconds (convenience for table printing).
+    pub fn seconds(&self) -> f64 {
+        self.factor_time.as_secs_f64()
+    }
+
+    /// Render the recorded timelines as an ASCII Gantt chart of `width`
+    /// columns: `#` busy, `S` blocked in the snapshot protocol, `.` idle.
+    /// Returns an explanatory placeholder if recording was off.
+    pub fn render_gantt(&self, width: usize) -> String {
+        if self.timelines.iter().all(|t| t.is_empty()) {
+            return "(timeline recording disabled; set SolverConfig::record_timeline)".into();
+        }
+        let total = self.factor_time.as_nanos().max(1);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "gantt: {} procs over {} ('#'=busy 'S'=snapshot-blocked '.'=idle)
+",
+            self.timelines.len(),
+            self.factor_time
+        ));
+        for (p, tl) in self.timelines.iter().enumerate() {
+            let mut line = vec!['.'; width];
+            // For each bucket take the activity covering most of it — a
+            // cheap approximation: the activity at the bucket's midpoint.
+            for (b, c) in line.iter_mut().enumerate() {
+                let t = total * (2 * b as u64 + 1) / (2 * width as u64);
+                let mut act = Activity::Idle;
+                for &(at, a) in tl {
+                    if at.as_nanos() <= t {
+                        act = a;
+                    } else {
+                        break;
+                    }
+                }
+                *c = match act {
+                    Activity::Idle => '.',
+                    Activity::Busy => '#',
+                    Activity::Blocked => 'S',
+                };
+            }
+            out.push_str(&format!("P{p:<3} {}
+", line.iter().collect::<String>()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_is_max_over_procs() {
+        let r = RunReport {
+            factor_time: SimTime(2_000_000_000),
+            procs: vec![
+                ProcReport { mem_peak_entries: 5e6, busy: SimDuration::from_secs(1), ..Default::default() },
+                ProcReport { mem_peak_entries: 7e6, busy: SimDuration::from_secs(2), ..Default::default() },
+            ],
+            decisions: 0,
+            state_msgs: 0,
+            state_bytes: 0,
+            app_msgs: 0,
+            snapshot_union_time: SimDuration::ZERO,
+            snapshot_max_concurrent: 0,
+            snapshots_started: 0,
+            counters: StatSet::new(),
+            view_err_time_work: Welford::default(),
+            view_err_time_mem: Welford::default(),
+            view_err_decision_work: Welford::default(),
+            view_err_decision_mem: Welford::default(),
+            timelines: vec![],
+        };
+        assert_eq!(r.mem_peak_entries(), 7e6);
+        assert!((r.mem_peak_millions() - 7.0).abs() < 1e-9);
+        assert!((r.efficiency() - 0.75).abs() < 1e-9);
+        assert!((r.seconds() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = RunReport {
+            factor_time: SimTime::ZERO,
+            procs: vec![],
+            decisions: 0,
+            state_msgs: 0,
+            state_bytes: 0,
+            app_msgs: 0,
+            snapshot_union_time: SimDuration::ZERO,
+            snapshot_max_concurrent: 0,
+            snapshots_started: 0,
+            counters: StatSet::new(),
+            view_err_time_work: Welford::default(),
+            view_err_time_mem: Welford::default(),
+            view_err_decision_work: Welford::default(),
+            view_err_decision_mem: Welford::default(),
+            timelines: vec![],
+        };
+        assert_eq!(r.efficiency(), 0.0);
+        assert_eq!(r.mem_peak_entries(), 0.0);
+    }
+}

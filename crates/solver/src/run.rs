@@ -1,0 +1,229 @@
+//! One-call experiment entry point.
+
+use crate::config::SolverConfig;
+use crate::engine::{Ev, SolverWorld};
+use crate::mapping::{self, MappingParams};
+use crate::report::RunReport;
+use loadex_sim::{ActorId, SimConfig, SimTime, Simulator, StopReason};
+use loadex_sparse::AssemblyTree;
+
+/// Run a full simulated factorization of `tree` under `cfg` and report the
+/// measurements. Panics if the simulation livelocks (event-limit safety
+/// valve) or deadlocks (calendar drained before completion).
+///
+/// ```
+/// use loadex_solver::{run_experiment, SolverConfig};
+/// use loadex_core::MechKind;
+/// use loadex_sparse::models::by_name;
+///
+/// let tree = by_name("TWOTONE").unwrap().build_tree();
+/// let cfg = SolverConfig::new(8).with_mechanism(MechKind::Increments);
+/// let report = run_experiment(&tree, &cfg);
+/// assert!(report.seconds() > 0.0);
+/// assert!(report.decisions > 0);
+/// ```
+pub fn run_experiment(tree: &AssemblyTree, cfg: &SolverConfig) -> RunReport {
+    let plan = mapping::plan(
+        tree,
+        cfg.nprocs,
+        MappingParams {
+            alpha: cfg.mapping_alpha,
+            type2_min_front: cfg.type2_min_front,
+            kmin_rows: cfg.kmin_rows,
+            type3_min_front: cfg.type3_min_front,
+            speed_factors: cfg.speed_factors.clone(),
+        },
+    );
+    let mut cfg = cfg.clone();
+    if cfg.threshold.is_none() {
+        cfg.threshold = Some(derive_threshold(tree, &plan, &cfg));
+    }
+    let mut world = SolverWorld::new(tree.clone(), plan, cfg.clone());
+    let mut sim = Simulator::new(SimConfig {
+        // Generous livelock valve: proportional to the task count.
+        max_events: 2_000 * (tree.len() as u64 + 64) * (cfg.nprocs as u64 + 4),
+        ..Default::default()
+    });
+    for p in 0..cfg.nprocs {
+        sim.schedule_at(SimTime::ZERO, ActorId(p), Ev::Kick);
+    }
+    let reason = sim.run(&mut world);
+    match reason {
+        StopReason::Requested => {}
+        StopReason::Drained => {
+            assert!(
+                world.is_done(),
+                "deadlock: calendar drained before factorization completed\n{}",
+                world.debug_dump()
+            );
+        }
+        StopReason::EventLimit => panic!("livelock: event limit exceeded"),
+        StopReason::Horizon => unreachable!("no horizon configured"),
+    }
+    world.report()
+}
+
+/// §2.3: "it is consistent to choose a threshold of the same order as the
+/// granularity of the tasks appearing in the slave selections." We derive it
+/// from the mean Type 2 slave share (a quarter of it, so shares themselves
+/// always cross the threshold but the small-task noise does not).
+fn derive_threshold(tree: &AssemblyTree, plan: &crate::mapping::TreePlan, cfg: &SolverConfig) -> loadex_core::Threshold {
+    use crate::mapping::NodeType;
+    use loadex_sparse::Symmetry;
+    let ef = match tree.sym {
+        Symmetry::Symmetric => 0.5,
+        Symmetry::Unsymmetric => 1.0,
+    };
+    let mut n = 0u32;
+    let mut mem = 0.0f64;
+    let mut work = 0.0f64;
+    for (i, t) in plan.ntype.iter().enumerate() {
+        if *t != NodeType::Type2 {
+            continue;
+        }
+        let node = &tree.nodes[i];
+        let ncb = node.ncb().max(1);
+        let share_rows = (ncb / 8).clamp(cfg.kmin_rows.min(ncb), cfg.kmax_rows) as f64;
+        mem += share_rows * node.nfront as f64 * ef;
+        work += tree.flops(i) / ncb as f64 * share_rows;
+        n += 1;
+    }
+    if n == 0 {
+        // No parallel tasks: any coarse threshold works; take 1% of totals.
+        return loadex_core::Threshold::new(
+            (tree.total_flops() * 0.01).max(1.0),
+            (tree.total_factor_entries() * 0.01).max(1.0),
+        );
+    }
+    loadex_core::Threshold::new(
+        (work / n as f64 * 0.25).max(1.0),
+        (mem / n as f64 * 0.25).max(1.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CommMode, Strategy};
+    use loadex_core::MechKind;
+    use loadex_sparse::models::by_name;
+    use loadex_sparse::{gen, symbolic, Symmetry};
+
+    fn small_tree() -> AssemblyTree {
+        let p = gen::grid2d(20, 20);
+        symbolic::analyze_with_ordering(
+            &p,
+            symbolic::Ordering::NestedDissection,
+            symbolic::SymbolicOptions {
+                amalg_pivots: 8,
+                sym: Symmetry::Symmetric,
+            },
+        )
+        .tree
+    }
+
+    fn cfg(nprocs: usize, mech: MechKind) -> SolverConfig {
+        let mut c = SolverConfig::new(nprocs).with_mechanism(mech);
+        // Small problems: lower the parallel thresholds so Type 2 exists.
+        c.type2_min_front = 20;
+        c.type3_min_front = 60;
+        c.kmin_rows = 4;
+        c
+    }
+
+    #[test]
+    fn completes_on_one_process() {
+        let t = small_tree();
+        let r = run_experiment(&t, &cfg(1, MechKind::Increments));
+        assert!(r.factor_time > SimTime::ZERO);
+        assert_eq!(r.decisions, 0, "no dynamic decisions with one process");
+        assert_eq!(r.state_msgs, 0);
+    }
+
+    #[test]
+    fn completes_under_all_mechanisms() {
+        let t = small_tree();
+        for mech in [MechKind::Naive, MechKind::Increments, MechKind::Snapshot] {
+            let r = run_experiment(&t, &cfg(4, mech));
+            assert!(r.factor_time > SimTime::ZERO, "{mech}: no progress");
+            assert!(r.procs.len() == 4);
+            assert!(r.mem_peak_entries() > 0.0, "{mech}: no memory tracked");
+        }
+    }
+
+    #[test]
+    fn completes_under_both_strategies() {
+        let t = small_tree();
+        for strat in [Strategy::MemoryBased, Strategy::WorkloadBased] {
+            let c = cfg(4, MechKind::Increments).with_strategy(strat);
+            let r = run_experiment(&t, &c);
+            assert!(r.factor_time > SimTime::ZERO, "{}: no progress", strat.name());
+        }
+    }
+
+    #[test]
+    fn threaded_mode_completes_and_speeds_up_snapshots() {
+        let t = by_name("TWOTONE").unwrap().build_tree();
+        let base = SolverConfig::new(8).with_mechanism(MechKind::Snapshot);
+        let single = run_experiment(&t, &base);
+        let threaded = run_experiment(
+            &t,
+            &base.clone().with_comm(CommMode::threaded_default()),
+        );
+        assert!(single.factor_time > SimTime::ZERO);
+        assert!(threaded.factor_time > SimTime::ZERO);
+        // The whole point of §4.5: snapshots complete much faster when state
+        // messages are serviced during computation.
+        assert!(
+            threaded.snapshot_union_time < single.snapshot_union_time,
+            "threaded {} !< single {}",
+            threaded.snapshot_union_time,
+            single.snapshot_union_time
+        );
+    }
+
+    #[test]
+    fn snapshot_mechanism_counts_fewer_messages() {
+        let t = by_name("TWOTONE").unwrap().build_tree();
+        let inc = run_experiment(&t, &SolverConfig::new(8).with_mechanism(MechKind::Increments));
+        let snp = run_experiment(&t, &SolverConfig::new(8).with_mechanism(MechKind::Snapshot));
+        assert!(inc.decisions > 0);
+        assert_eq!(inc.decisions, snp.decisions, "same static classification");
+        assert!(
+            snp.state_msgs < inc.state_msgs,
+            "snapshot {} !< increments {}",
+            snp.state_msgs,
+            inc.state_msgs
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let t = small_tree();
+        let c = cfg(4, MechKind::Increments);
+        let a = run_experiment(&t, &c);
+        let b = run_experiment(&t, &c);
+        assert_eq!(a.factor_time, b.factor_time);
+        assert_eq!(a.state_msgs, b.state_msgs);
+        assert_eq!(a.mem_peak_entries(), b.mem_peak_entries());
+    }
+
+    #[test]
+    fn decisions_match_static_plan() {
+        let t = by_name("GUPTA3").unwrap().build_tree();
+        let c = SolverConfig::new(8);
+        let plan = mapping::plan(
+            &t,
+            8,
+            MappingParams {
+                alpha: c.mapping_alpha,
+                type2_min_front: c.type2_min_front,
+                kmin_rows: c.kmin_rows,
+                type3_min_front: c.type3_min_front,
+                speed_factors: Vec::new(),
+            },
+        );
+        let r = run_experiment(&t, &c);
+        assert_eq!(r.decisions as usize, plan.n_decisions);
+    }
+}

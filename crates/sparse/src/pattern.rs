@@ -1,0 +1,214 @@
+//! Symmetric sparsity patterns.
+//!
+//! We only need the *structure* of the matrix (the factorization is
+//! simulated, not performed), so a pattern is the adjacency of the
+//! undirected graph of `A + Aᵀ`, stored CSR-style without the diagonal.
+
+/// A symmetric sparsity pattern / undirected graph in CSR form.
+///
+/// Invariants (checked by [`SparsePattern::validate`]):
+/// * neighbour lists are sorted, unique, and exclude the diagonal;
+/// * the adjacency is symmetric (`j ∈ adj(i)` ⇔ `i ∈ adj(j)`).
+#[derive(Clone, Debug)]
+pub struct SparsePattern {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+}
+
+impl SparsePattern {
+    /// Build from a list of (possibly duplicated, possibly one-sided) edges.
+    /// Self-loops are dropped; the pattern is symmetrised.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut deg = vec![0usize; n];
+        for &(i, j) in edges {
+            assert!((i as usize) < n && (j as usize) < n, "edge out of range");
+            if i != j {
+                deg[i as usize] += 1;
+                deg[j as usize] += 1;
+            }
+        }
+        let mut row_ptr = vec![0usize; n + 1];
+        for i in 0..n {
+            row_ptr[i + 1] = row_ptr[i] + deg[i];
+        }
+        let mut col_idx = vec![0u32; row_ptr[n]];
+        let mut fill = row_ptr.clone();
+        for &(i, j) in edges {
+            if i != j {
+                col_idx[fill[i as usize]] = j;
+                fill[i as usize] += 1;
+                col_idx[fill[j as usize]] = i;
+                fill[j as usize] += 1;
+            }
+        }
+        // Sort and deduplicate each neighbour list.
+        let mut out_ptr = vec![0usize; n + 1];
+        let mut out_idx = Vec::with_capacity(col_idx.len());
+        for i in 0..n {
+            let row = &mut col_idx[row_ptr[i]..row_ptr[i + 1]];
+            row.sort_unstable();
+            let mut prev = u32::MAX;
+            for &c in row.iter() {
+                if c != prev {
+                    out_idx.push(c);
+                    prev = c;
+                }
+            }
+            out_ptr[i + 1] = out_idx.len();
+        }
+        SparsePattern {
+            n,
+            row_ptr: out_ptr,
+            col_idx: out_idx,
+        }
+    }
+
+    /// Matrix order (number of rows/columns).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored off-diagonal entries (twice the edge count).
+    pub fn nnz_offdiag(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Total nonzeros of `A` including the diagonal (symmetric full count).
+    pub fn nnz_full(&self) -> usize {
+        self.col_idx.len() + self.n
+    }
+
+    /// Neighbours of vertex `i`, sorted ascending.
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.col_idx[self.row_ptr[i]..self.row_ptr[i + 1]]
+    }
+
+    /// Degree of vertex `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// Apply a permutation: vertex `i` of the result is vertex `perm[i]` of
+    /// `self` (i.e. `perm` lists old indices in new order).
+    pub fn permute(&self, perm: &[u32]) -> SparsePattern {
+        assert_eq!(perm.len(), self.n);
+        let mut inv = vec![0u32; self.n];
+        for (new, &old) in perm.iter().enumerate() {
+            inv[old as usize] = new as u32;
+        }
+        let mut edges = Vec::with_capacity(self.col_idx.len() / 2);
+        for i in 0..self.n {
+            for &j in self.neighbors(i) {
+                if (j as usize) > i {
+                    edges.push((inv[i], inv[j as usize]));
+                }
+            }
+        }
+        SparsePattern::from_edges(self.n, &edges)
+    }
+
+    /// Check the structural invariants; panics with a description on
+    /// violation. Returns `&self` for chaining.
+    pub fn validate(&self) -> &Self {
+        assert_eq!(self.row_ptr.len(), self.n + 1);
+        assert_eq!(*self.row_ptr.last().unwrap(), self.col_idx.len());
+        for i in 0..self.n {
+            let row = self.neighbors(i);
+            for w in row.windows(2) {
+                assert!(w[0] < w[1], "row {i} not sorted/unique");
+            }
+            for &j in row {
+                assert_ne!(j as usize, i, "self-loop at {i}");
+                assert!(
+                    self.neighbors(j as usize).binary_search(&(i as u32)).is_ok(),
+                    "asymmetry: {i}->{j} present but not {j}->{i}"
+                );
+            }
+        }
+        self
+    }
+
+    /// Connected components; returns (component id per vertex, count).
+    pub fn components(&self) -> (Vec<u32>, usize) {
+        let mut comp = vec![u32::MAX; self.n];
+        let mut ncomp = 0usize;
+        let mut stack = Vec::new();
+        for s in 0..self.n {
+            if comp[s] != u32::MAX {
+                continue;
+            }
+            comp[s] = ncomp as u32;
+            stack.push(s);
+            while let Some(v) = stack.pop() {
+                for &w in self.neighbors(v) {
+                    if comp[w as usize] == u32::MAX {
+                        comp[w as usize] = ncomp as u32;
+                        stack.push(w as usize);
+                    }
+                }
+            }
+            ncomp += 1;
+        }
+        (comp, ncomp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> SparsePattern {
+        SparsePattern::from_edges(3, &[(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn from_edges_symmetrises_and_dedups() {
+        let p = SparsePattern::from_edges(3, &[(0, 1), (1, 0), (0, 1), (2, 2)]);
+        p.validate();
+        assert_eq!(p.neighbors(0), &[1]);
+        assert_eq!(p.neighbors(1), &[0]);
+        assert_eq!(p.neighbors(2), &[] as &[u32]);
+        assert_eq!(p.nnz_offdiag(), 2);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let p = SparsePattern::from_edges(4, &[(3, 0), (3, 2), (3, 1)]);
+        assert_eq!(p.neighbors(3), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn permute_identity_is_noop() {
+        let p = path3();
+        let q = p.permute(&[0, 1, 2]);
+        assert_eq!(q.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn permute_reverse() {
+        let p = path3();
+        // New vertex 0 is old vertex 2, etc.
+        let q = p.permute(&[2, 1, 0]);
+        q.validate();
+        assert_eq!(q.neighbors(0), &[1]); // old 2 connected to old 1
+        assert_eq!(q.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn components_counts_islands() {
+        let p = SparsePattern::from_edges(5, &[(0, 1), (2, 3)]);
+        let (comp, n) = p.components();
+        assert_eq!(n, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[4], comp[0]);
+    }
+
+    #[test]
+    fn nnz_full_includes_diagonal() {
+        let p = path3();
+        assert_eq!(p.nnz_full(), 4 + 3);
+    }
+}

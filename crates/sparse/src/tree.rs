@@ -1,0 +1,362 @@
+//! The assembly tree and its cost model.
+//!
+//! Each node of the assembly tree is the partial factorization of a dense
+//! *frontal matrix* of order `nfront`, eliminating `npiv` pivots and
+//! producing a Schur complement (*contribution block*, CB) of order
+//! `nfront − npiv` that is later assembled into the parent's front (§4.1).
+//!
+//! The flop and memory formulas below are the classical dense
+//! partial-factorization counts used by multifrontal solvers; absolute
+//! calibration does not matter for the reproduction (the paper's machine is
+//! gone) but *relative* costs across the tree drive the schedulers, so the
+//! cubic/quadratic structure must be right.
+
+/// Symmetry of the underlying problem (Tables 1–2 distinguish SYM/UNS).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Symmetry {
+    /// Symmetric (LDLᵀ-like): half the flops/memory of LU.
+    Symmetric,
+    /// Unsymmetric (LU on a symmetrised pattern).
+    Unsymmetric,
+}
+
+/// One node (front) of the assembly tree.
+#[derive(Clone, Debug)]
+pub struct FrontNode {
+    /// Parent node index, `None` for roots.
+    pub parent: Option<u32>,
+    /// Children node indices.
+    pub children: Vec<u32>,
+    /// Order of the frontal matrix.
+    pub nfront: u32,
+    /// Pivots eliminated at this node (`npiv ≤ nfront`).
+    pub npiv: u32,
+}
+
+impl FrontNode {
+    /// Rows/columns remaining in the contribution block.
+    pub fn ncb(&self) -> u32 {
+        self.nfront - self.npiv
+    }
+}
+
+/// The assembly tree: the multifrontal task graph.
+#[derive(Clone, Debug)]
+pub struct AssemblyTree {
+    /// Nodes; children always have smaller indices than their parent
+    /// (topological / postorder-compatible numbering).
+    pub nodes: Vec<FrontNode>,
+    /// Root node indices.
+    pub roots: Vec<u32>,
+    /// Problem symmetry (halves the dense kernel costs).
+    pub sym: Symmetry,
+}
+
+impl AssemblyTree {
+    /// Build from per-node `(parent, nfront, npiv)`; children lists and roots
+    /// are derived. Panics if a parent index is not larger than the child's
+    /// (the tree must be topologically numbered) or `npiv > nfront`.
+    pub fn from_parents(sym: Symmetry, specs: &[(Option<u32>, u32, u32)]) -> Self {
+        let mut nodes: Vec<FrontNode> = specs
+            .iter()
+            .map(|&(parent, nfront, npiv)| {
+                assert!(npiv <= nfront, "npiv {npiv} > nfront {nfront}");
+                assert!(npiv >= 1, "empty front");
+                FrontNode {
+                    parent,
+                    children: Vec::new(),
+                    nfront,
+                    npiv,
+                }
+            })
+            .collect();
+        let mut roots = Vec::new();
+        for i in 0..nodes.len() {
+            match nodes[i].parent {
+                Some(p) => {
+                    assert!(
+                        (p as usize) > i && (p as usize) < nodes.len(),
+                        "node {i}: parent {p} not topological"
+                    );
+                    nodes[p as usize].children.push(i as u32);
+                }
+                None => roots.push(i as u32),
+            }
+        }
+        AssemblyTree { nodes, roots, sym }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Indices in a postorder (children before parents). Because nodes are
+    /// topologically numbered, `0..len` already satisfies this.
+    pub fn topo_order(&self) -> impl Iterator<Item = usize> {
+        0..self.nodes.len()
+    }
+
+    /// Flops of the partial factorization at node `i`.
+    ///
+    /// Eliminating `p` pivots from an `m × m` front costs
+    /// `2/3·(m³ − (m−p)³)` flops for LU; half that for the symmetric case.
+    pub fn flops(&self, i: usize) -> f64 {
+        let n = &self.nodes[i];
+        let m = n.nfront as f64;
+        let c = n.ncb() as f64;
+        let lu = 2.0 / 3.0 * (m * m * m - c * c * c);
+        match self.sym {
+            Symmetry::Unsymmetric => lu,
+            Symmetry::Symmetric => lu / 2.0,
+        }
+    }
+
+    /// Entries of the factors produced at node `i` (kept until the end).
+    pub fn factor_entries(&self, i: usize) -> f64 {
+        let n = &self.nodes[i];
+        let m = n.nfront as f64;
+        let c = n.ncb() as f64;
+        let lu = m * m - c * c;
+        match self.sym {
+            Symmetry::Unsymmetric => lu,
+            Symmetry::Symmetric => lu / 2.0,
+        }
+    }
+
+    /// Entries of the contribution block of node `i` (stacked until the
+    /// parent assembles it).
+    pub fn cb_entries(&self, i: usize) -> f64 {
+        let n = &self.nodes[i];
+        let c = n.ncb() as f64;
+        match self.sym {
+            Symmetry::Unsymmetric => c * c,
+            Symmetry::Symmetric => c * (c + 1.0) / 2.0,
+        }
+    }
+
+    /// Entries of the full frontal matrix of node `i` (active while being
+    /// factored).
+    pub fn front_entries(&self, i: usize) -> f64 {
+        let n = &self.nodes[i];
+        let m = n.nfront as f64;
+        match self.sym {
+            Symmetry::Unsymmetric => m * m,
+            Symmetry::Symmetric => m * (m + 1.0) / 2.0,
+        }
+    }
+
+    /// Total flops over the tree.
+    pub fn total_flops(&self) -> f64 {
+        (0..self.len()).map(|i| self.flops(i)).sum()
+    }
+
+    /// Total factor entries over the tree.
+    pub fn total_factor_entries(&self) -> f64 {
+        (0..self.len()).map(|i| self.factor_entries(i)).sum()
+    }
+
+    /// Flops in the subtree rooted at each node (the quantity used by
+    /// proportional mapping).
+    pub fn subtree_flops(&self) -> Vec<f64> {
+        let mut sub = vec![0.0; self.len()];
+        for i in self.topo_order() {
+            sub[i] += self.flops(i);
+            if let Some(p) = self.nodes[i].parent {
+                let v = sub[i];
+                sub[p as usize] += v;
+            }
+        }
+        sub
+    }
+
+    /// Depth of each node (roots at 0).
+    pub fn depths(&self) -> Vec<u32> {
+        let mut depth = vec![0u32; self.len()];
+        for i in (0..self.len()).rev() {
+            if let Some(p) = self.nodes[i].parent {
+                depth[i] = depth[p as usize] + 1;
+            }
+        }
+        depth
+    }
+
+    /// Height of the tree (max depth + 1); 0 for an empty tree.
+    pub fn height(&self) -> u32 {
+        self.depths().iter().copied().max().map_or(0, |d| d + 1)
+    }
+
+    /// Total pivots across the tree — equals the matrix order `n`.
+    pub fn total_pivots(&self) -> u64 {
+        self.nodes.iter().map(|n| n.npiv as u64).sum()
+    }
+
+    /// Structural validation: parent/child symmetry, topological numbering,
+    /// CB smaller than the parent's front (a contribution must fit).
+    pub fn validate(&self) -> &Self {
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let Some(p) = n.parent {
+                assert!((p as usize) > i, "node {i} numbered after parent");
+                assert!(
+                    self.nodes[p as usize].children.contains(&(i as u32)),
+                    "child link missing for {i}"
+                );
+                assert!(
+                    n.ncb() <= self.nodes[p as usize].nfront,
+                    "CB of {i} larger than parent front"
+                );
+            } else {
+                assert!(self.roots.contains(&(i as u32)), "root {i} not listed");
+            }
+            for &c in &n.children {
+                assert_eq!(self.nodes[c as usize].parent, Some(i as u32));
+            }
+        }
+        self
+    }
+
+    /// Sequential peak of active memory (fronts + CB stack) assuming a
+    /// postorder traversal on one process — the classical multifrontal
+    /// active-memory model, used as a baseline by the harness.
+    pub fn sequential_peak_memory(&self) -> f64 {
+        // Classic recurrence: when factoring node i, the active memory is
+        // its front + the CBs of nodes whose parents are not yet processed.
+        // We evaluate it with an explicit stack over the topological order.
+        let mut cb_stack = 0.0f64;
+        let mut peak = 0.0f64;
+        let mut pending_children = vec![0usize; self.len()];
+        for i in self.topo_order() {
+            pending_children[i] = self.nodes[i].children.len();
+        }
+        for i in self.topo_order() {
+            // Assemble: children CBs are consumed into the new front.
+            let child_cb: f64 = self.nodes[i]
+                .children
+                .iter()
+                .map(|&c| self.cb_entries(c as usize))
+                .sum();
+            // Front allocated while children CBs still on the stack.
+            let active = cb_stack + self.front_entries(i);
+            peak = peak.max(active);
+            cb_stack -= child_cb;
+            cb_stack += self.cb_entries(i);
+        }
+        peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small hand-built tree:
+    ///        3 (root, nfront 6, npiv 6)
+    ///       / \
+    ///      2   1
+    ///      |
+    ///      0
+    fn sample() -> AssemblyTree {
+        AssemblyTree::from_parents(
+            Symmetry::Unsymmetric,
+            &[
+                (Some(2), 4, 2), // 0
+                (Some(3), 5, 3), // 1
+                (Some(3), 4, 2), // 2
+                (None, 6, 6),    // 3
+            ],
+        )
+    }
+
+    #[test]
+    fn structure_and_validation() {
+        let t = sample();
+        t.validate();
+        assert_eq!(t.roots, vec![3]);
+        assert_eq!(t.nodes[3].children, vec![1, 2]);
+        assert_eq!(t.nodes[2].children, vec![0]);
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.total_pivots(), 2 + 3 + 2 + 6);
+    }
+
+    #[test]
+    fn flops_full_factorization() {
+        // A root eliminating the whole front: 2/3 m³ for LU.
+        let t = sample();
+        let m = 6.0f64;
+        assert!((t.flops(3) - 2.0 / 3.0 * m * m * m).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flops_partial_factorization_additivity() {
+        // Eliminating p then (m−p) pivots must equal eliminating m at once.
+        let whole = AssemblyTree::from_parents(Symmetry::Unsymmetric, &[(None, 10, 10)]);
+        let split = AssemblyTree::from_parents(
+            Symmetry::Unsymmetric,
+            &[(Some(1), 10, 4), (None, 6, 6)],
+        );
+        let a = whole.total_flops();
+        let b = split.total_flops();
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn symmetric_is_half_of_unsymmetric() {
+        let u = AssemblyTree::from_parents(Symmetry::Unsymmetric, &[(None, 8, 3)]);
+        let s = AssemblyTree::from_parents(Symmetry::Symmetric, &[(None, 8, 3)]);
+        assert!((u.flops(0) - 2.0 * s.flops(0)).abs() < 1e-9);
+        assert!((u.factor_entries(0) - 2.0 * s.factor_entries(0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cb_and_factor_partition_the_front() {
+        let t = sample();
+        for i in 0..t.len() {
+            let total = t.factor_entries(i) + t.cb_entries(i);
+            match t.sym {
+                Symmetry::Unsymmetric => assert!((total - t.front_entries(i)).abs() < 1e-9),
+                Symmetry::Symmetric => {}
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_flops_root_is_total() {
+        let t = sample();
+        let sub = t.subtree_flops();
+        assert!((sub[3] - t.total_flops()).abs() < 1e-9);
+        assert!(sub[2] > t.flops(2), "includes child");
+    }
+
+    #[test]
+    fn sequential_peak_at_least_biggest_front() {
+        let t = sample();
+        let peak = t.sequential_peak_memory();
+        assert!(peak >= t.front_entries(3));
+        // And at most the total of everything.
+        let all: f64 = (0..t.len()).map(|i| t.front_entries(i)).sum();
+        assert!(peak <= all);
+    }
+
+    #[test]
+    #[should_panic(expected = "not topological")]
+    fn parent_must_come_after_child() {
+        AssemblyTree::from_parents(Symmetry::Symmetric, &[(None, 4, 4), (Some(0), 3, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "npiv")]
+    fn npiv_bounded_by_nfront() {
+        AssemblyTree::from_parents(Symmetry::Symmetric, &[(None, 3, 4)]);
+    }
+
+    #[test]
+    fn depths_roots_zero() {
+        let t = sample();
+        assert_eq!(t.depths(), vec![2, 1, 1, 0]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Quickstart: compare the three load-exchange mechanisms on one problem.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a 3D grid problem with the full analysis pipeline (nested
+//! dissection → elimination tree → assembly tree), then runs the simulated
+//! asynchronous multifrontal factorization on 16 processes under each of the
+//! paper's mechanisms, printing the quantities the paper studies.
+
+use loadex::core::MechKind;
+use loadex::solver::{run_experiment, SolverConfig, Strategy};
+use loadex::sparse::symbolic::{analyze_with_ordering, Ordering, SymbolicOptions};
+use loadex::sparse::{gen, Symmetry};
+
+fn main() {
+    // 1. A problem: the 7-point Laplacian on a 24^3 grid (n = 13 824).
+    let pattern = gen::grid3d(24, 24, 24);
+    println!(
+        "problem: 24x24x24 grid Laplacian, n = {}, nnz = {}",
+        pattern.n(),
+        pattern.nnz_full()
+    );
+
+    // 2. Symbolic analysis: ordering, elimination tree, assembly tree.
+    let analysis = analyze_with_ordering(
+        &pattern,
+        Ordering::NestedDissection,
+        SymbolicOptions {
+            amalg_pivots: 16,
+            sym: Symmetry::Symmetric,
+        },
+    );
+    let tree = &analysis.tree;
+    println!(
+        "assembly tree: {} fronts (from {} supernodes), |L| = {:.2e}, {:.2e} flops\n",
+        tree.len(),
+        analysis.n_supernodes,
+        analysis.factor_nnz as f64,
+        tree.total_flops()
+    );
+
+    // 3. Factorize under each mechanism.
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>10}",
+        "mechanism", "time (s)", "state msgs", "mem peak (M)", "decisions"
+    );
+    for mech in MechKind::EXTENDED {
+        let mut cfg = SolverConfig::new(16)
+            .with_mechanism(mech)
+            .with_strategy(Strategy::WorkloadBased);
+        // Small problem: lower the parallelism thresholds.
+        cfg.type2_min_front = 100;
+        cfg.type3_min_front = 400;
+        cfg.kmin_rows = 16;
+        let report = run_experiment(tree, &cfg);
+        println!(
+            "{:<12} {:>10.4} {:>12} {:>12.3} {:>10}",
+            mech.name(),
+            report.seconds(),
+            report.state_msgs,
+            report.mem_peak_millions(),
+            report.decisions
+        );
+    }
+    println!("\nExpected shape (the paper's conclusion): the snapshot mechanism");
+    println!("exchanges far fewer messages but takes longer; increments is the");
+    println!("practical default (MUMPS >= 4.3). The last two rows are this");
+    println!("crate's extensions: a time-driven heartbeat and epidemic gossip.");
+}

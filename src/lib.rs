@@ -1,0 +1,27 @@
+//! # loadex — load information exchange mechanisms for distributed dynamic scheduling
+//!
+//! A Rust reproduction of *“A study of various load information exchange
+//! mechanisms for a distributed application using dynamic scheduling”*
+//! (A. Guermouche, J.-Y. L'Excellent, INRIA RR-5478, 2005).
+//!
+//! This umbrella crate re-exports the public API of the workspace:
+//!
+//! * [`sim`] — deterministic discrete-event simulation engine.
+//! * [`net`] — message-passing substrate (simulated network with a priority
+//!   *state* channel, plus a real multi-threaded transport).
+//! * [`core`] — the paper's contribution: the **naive**, **increment-based**
+//!   and **snapshot-based** load-information exchange mechanisms.
+//! * [`sparse`] — sparse-matrix substrate: problem generators, orderings,
+//!   elimination/assembly trees, symbolic factorization.
+//! * [`solver`] — a MUMPS-like asynchronous multifrontal solver simulator
+//!   with memory-based and workload-based dynamic scheduling.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+
+pub mod driver;
+
+pub use loadex_core as core;
+pub use loadex_net as net;
+pub use loadex_sim as sim;
+pub use loadex_solver as solver;
+pub use loadex_sparse as sparse;
