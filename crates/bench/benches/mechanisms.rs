@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use loadex_core::{
-    ChangeOrigin, IncrementMechanism, Load, Mechanism, NaiveMechanism, Outbox,
-    SnapshotMechanism, StateMsg, Threshold,
+    ChangeOrigin, IncrementMechanism, Load, Mechanism, NaiveMechanism, Outbox, SnapshotMechanism,
+    StateMsg, Threshold,
 };
 use loadex_sim::ActorId;
 
@@ -49,7 +49,13 @@ fn bench_state_messages(c: &mut Criterion) {
             let mut out = Outbox::new();
             for i in 0..MSGS {
                 let from = ActorId(1 + (i as usize % (N - 1)));
-                m.on_state_msg(from, StateMsg::UpdateDelta { delta: Load::work(1.0) }, &mut out);
+                m.on_state_msg(
+                    from,
+                    StateMsg::UpdateDelta {
+                        delta: Load::work(1.0),
+                    },
+                    &mut out,
+                );
             }
             m.view().total().work
         })
@@ -61,16 +67,17 @@ fn bench_snapshot_round(c: &mut Criterion) {
     c.bench_function("snapshot/full_round_64_procs", |b| {
         b.iter(|| {
             // One initiator + 63 responders exchanging a complete snapshot.
-            let mut mechs: Vec<SnapshotMechanism> =
-                (0..N).map(|i| SnapshotMechanism::new(ActorId(i), N)).collect();
+            let mut mechs: Vec<SnapshotMechanism> = (0..N)
+                .map(|i| SnapshotMechanism::new(ActorId(i), N))
+                .collect();
             let mut out = Outbox::new();
             mechs[0].request_decision(&mut out);
             let req: Vec<_> = out.drain().collect();
             let start = &req[0].msg;
             let mut answers = Vec::new();
-            for p in 1..N {
+            for (p, mech) in mechs.iter_mut().enumerate().skip(1) {
                 let mut o = Outbox::new();
-                mechs[p].on_state_msg(ActorId(0), start.clone(), &mut o);
+                mech.on_state_msg(ActorId(0), start.clone(), &mut o);
                 answers.extend(o.drain().map(|m| (ActorId(p), m.msg)));
             }
             for (from, a) in answers {
@@ -84,5 +91,10 @@ fn bench_snapshot_round(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_local_changes, bench_state_messages, bench_snapshot_round);
+criterion_group!(
+    benches,
+    bench_local_changes,
+    bench_state_messages,
+    bench_snapshot_round
+);
 criterion_main!(benches);

@@ -3,14 +3,22 @@
 //! ```text
 //! run --matrix AUDIKW_1 --procs 64 --mech snapshot --strategy workload \
 //!     [--threaded] [--partial K] [--no-nomaster] [--chunk-ms N] \
-//!     [--latency-us N] [--probe]
+//!     [--latency-us N] [--probe] \
+//!     [--trace-out FILE] [--metrics-out FILE] [--events-out FILE]
 //! ```
+//!
+//! The three `--*-out` flags attach the observability layer and write,
+//! respectively, a Chrome `trace_event` JSON (open in `chrome://tracing` or
+//! <https://ui.perfetto.dev>), the full run report + metrics registry as
+//! JSON, and the raw protocol-event stream as JSONL.
 
 use loadex_bench::config_for;
 use loadex_core::MechKind;
+use loadex_obs::{chrome, jsonl, Recorder};
 use loadex_sim::SimDuration;
-use loadex_solver::{run_experiment, CommMode, Strategy};
+use loadex_solver::{run_experiment_observed, CommMode, Strategy};
 use loadex_sparse::models::by_name;
+use serde::Serialize;
 
 fn main() {
     let mut matrix = "TWOTONE".to_string();
@@ -23,6 +31,9 @@ fn main() {
     let mut chunk_ms: Option<u64> = None;
     let mut latency_us: Option<u64> = None;
     let mut probe = false;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut events_out: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -67,11 +78,15 @@ fn main() {
             "--chunk-ms" => chunk_ms = Some(next().parse().expect("--chunk-ms N")),
             "--latency-us" => latency_us = Some(next().parse().expect("--latency-us N")),
             "--probe" => probe = true,
+            "--trace-out" => trace_out = Some(next()),
+            "--metrics-out" => metrics_out = Some(next()),
+            "--events-out" => events_out = Some(next()),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: run --matrix NAME --procs N --mech {{naive|increments|snapshot|periodic|gossip}} \
                      --strategy {{memory|workload}} [--threaded] [--partial K] [--no-nomaster] \
-                     [--chunk-ms N] [--latency-us N] [--probe]"
+                     [--chunk-ms N] [--latency-us N] [--probe] \
+                     [--trace-out FILE] [--metrics-out FILE] [--events-out FILE]"
                 );
                 return;
             }
@@ -90,7 +105,9 @@ fn main() {
         std::process::exit(2);
     };
 
-    let mut cfg = config_for(procs).with_mechanism(mech).with_strategy(strategy);
+    let mut cfg = config_for(procs)
+        .with_mechanism(mech)
+        .with_strategy(strategy);
     if threaded {
         cfg = cfg.with_comm(CommMode::threaded_default());
     }
@@ -113,19 +130,59 @@ fn main() {
         mech.name(),
         strategy.name(),
         if threaded { " / threaded" } else { "" },
-        partial.map(|k| format!(" / partial({k})")).unwrap_or_default(),
+        partial
+            .map(|k| format!(" / partial({k})"))
+            .unwrap_or_default(),
     );
-    let r = run_experiment(&tree, &cfg);
+    // Attach the observability layer only when some output asks for events;
+    // a disabled recorder keeps the run on the zero-cost path.
+    let observe = trace_out.is_some() || metrics_out.is_some() || events_out.is_some();
+    let rec = if observe {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    let r = run_experiment_observed(&tree, &cfg, rec.clone());
+
+    let events = if observe { rec.take() } else { Vec::new() };
+    if rec.dropped() > 0 {
+        eprintln!(
+            "warning: event log overflowed, {} oldest events dropped",
+            rec.dropped()
+        );
+    }
+    let write = |path: &str, what: &str, data: String| {
+        if let Err(e) = std::fs::write(path, data) {
+            eprintln!("cannot write {what} to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {what} to {path}");
+    };
+    if let Some(path) = &trace_out {
+        write(path, "Chrome trace", chrome::to_string(&events));
+    }
+    if let Some(path) = &events_out {
+        write(path, "event JSONL", jsonl::to_string(&events));
+    }
+    if let Some(path) = &metrics_out {
+        write(path, "run metrics", r.to_json());
+    }
 
     println!("factorization time : {:.2} s", r.seconds());
     println!("dynamic decisions  : {}", r.decisions);
     println!("state messages     : {}", r.state_msgs);
     println!("state bytes        : {}", r.state_bytes);
     println!("app messages       : {}", r.app_msgs);
-    println!("memory peak        : {:.3} M entries", r.mem_peak_millions());
+    println!(
+        "memory peak        : {:.3} M entries",
+        r.mem_peak_millions()
+    );
     println!("efficiency         : {:.1} %", r.efficiency() * 100.0);
     if mech == MechKind::Snapshot {
-        println!("snapshot time      : {:.2} s (union)", r.snapshot_union_time.as_secs_f64());
+        println!(
+            "snapshot time      : {:.2} s (union)",
+            r.snapshot_union_time.as_secs_f64()
+        );
         println!("snapshot concur.   : {}", r.snapshot_max_concurrent);
         println!("snapshots started  : {}", r.snapshots_started);
     }

@@ -36,8 +36,11 @@ fn main() {
             }
         }
     }
-    let (p_small, p_large): (Vec<usize>, Vec<usize>) =
-        if quick { (vec![8], vec![16]) } else { (vec![32, 64], vec![64, 128]) };
+    let (p_small, p_large): (Vec<usize>, Vec<usize>) = if quick {
+        (vec![8], vec![16])
+    } else {
+        (vec![32, 64], vec![64, 128])
+    };
 
     let small = bench::small_set();
     let large = bench::large_set();
@@ -84,7 +87,10 @@ fn main() {
         println!("{}", bench::ablation_threshold(np, &large[0]).render());
         println!("{}", bench::ablation_coherence(np, &large[0]).render());
         println!("{}", bench::ablation_leader(np, &large[0]).render());
-        println!("{}", bench::ablation_partial_snapshot(np, &large[0]).render());
+        println!(
+            "{}",
+            bench::ablation_partial_snapshot(np, &large[0]).render()
+        );
         println!("{}", bench::extended_comparison(np, &large[0]).render());
         println!("{}", bench::ablation_chunk(np, &large[2]).render());
         println!("{}", bench::ablation_scalability(&large[2]).render());

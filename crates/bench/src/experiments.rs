@@ -3,7 +3,7 @@
 use crate::paper;
 use crate::table::{f, Table};
 use loadex_core::{
-    ChangeOrigin, IncrementMechanism, Load, Mechanism, MechKind, NaiveMechanism, Outbox, StateMsg,
+    ChangeOrigin, IncrementMechanism, Load, MechKind, Mechanism, NaiveMechanism, Outbox, StateMsg,
     Threshold,
 };
 use loadex_sim::ActorId;
@@ -106,9 +106,8 @@ pub fn table4(nprocs: usize, matrices: &[MatrixModel]) -> Table {
             vals.push(run_experiment(&tree, &cfg).mem_peak_millions());
         }
         let p = paper::table4(m.name, nprocs);
-        let pcell = |sel: fn((f64, f64, f64)) -> f64| {
-            p.map(|v| f(sel(v))).unwrap_or_else(|| "-".into())
-        };
+        let pcell =
+            |sel: fn((f64, f64, f64)) -> f64| p.map(|v| f(sel(v))).unwrap_or_else(|| "-".into());
         t.row(vec![
             m.name.to_string(),
             f(vals[0]),
@@ -178,7 +177,13 @@ pub fn table7(nprocs: usize, matrices: &[MatrixModel]) -> Table {
     let mut t = Table::new(
         format!("Table 7: threaded load exchange, time (s), {nprocs} procs"),
         &[
-            "matrix", "incr", "snap", "p.incr", "p.snap", "snpT.1thr", "snpT.comm",
+            "matrix",
+            "incr",
+            "snap",
+            "p.incr",
+            "p.snap",
+            "snpT.1thr",
+            "snpT.comm",
         ],
     );
     for m in matrices {
@@ -196,7 +201,10 @@ pub fn table7(nprocs: usize, matrices: &[MatrixModel]) -> Table {
             vals.push(r.seconds());
         }
         // Single-threaded snapshot union for the §4.5 "100 s → 14 s" story.
-        let single = run_experiment(&tree, &config_for(nprocs).with_mechanism(MechKind::Snapshot));
+        let single = run_experiment(
+            &tree,
+            &config_for(nprocs).with_mechanism(MechKind::Snapshot),
+        );
         let p = paper::table7(m.name, nprocs);
         t.row(vec![
             m.name.to_string(),
@@ -503,7 +511,10 @@ pub fn ablation_leader(nprocs: usize, model: &MatrixModel) -> Table {
         &["policy", "time (s)", "snp time (s)", "rebroadcasts"],
     );
     let tree = model.build_tree();
-    for (name, policy) in [("min-rank", LeaderPolicy::MinRank), ("max-rank", LeaderPolicy::MaxRank)] {
+    for (name, policy) in [
+        ("min-rank", LeaderPolicy::MinRank),
+        ("max-rank", LeaderPolicy::MaxRank),
+    ] {
         let mut cfg = config_for(nprocs).with_mechanism(MechKind::Snapshot);
         cfg.leader_policy = policy;
         let r = run_experiment(&tree, &cfg);
@@ -557,7 +568,14 @@ pub fn extended_comparison(nprocs: usize, model: &MatrixModel) -> Table {
             "Extension: five dissemination mechanisms, {} on {nprocs} procs",
             model.name
         ),
-        &["mechanism", "time (s)", "msgs", "bytes", "mem (M)", "dec-err"],
+        &[
+            "mechanism",
+            "time (s)",
+            "msgs",
+            "bytes",
+            "mem (M)",
+            "dec-err",
+        ],
     );
     let tree = model.build_tree();
     for mech in MechKind::EXTENDED {
@@ -587,7 +605,13 @@ pub fn ablation_chunk(nprocs: usize, model: &MatrixModel) -> Table {
             "Ablation: task interruption granularity, snapshot, {} on {nprocs} procs",
             model.name
         ),
-        &["chunk (ms)", "incr time", "snap time", "snap/incr", "snpT (s)"],
+        &[
+            "chunk (ms)",
+            "incr time",
+            "snap time",
+            "snap/incr",
+            "snpT (s)",
+        ],
     );
     let tree = model.build_tree();
     for ms in [100u64, 400, 1500, 6000] {
@@ -619,8 +643,18 @@ pub fn ablation_chunk(nprocs: usize, model: &MatrixModel) -> Table {
 /// 512 processors for example)".
 pub fn ablation_scalability(model: &MatrixModel) -> Table {
     let mut t = Table::new(
-        format!("Ablation: traffic scalability (§4.5 remark), {}", model.name),
-        &["procs", "incr msgs", "snap msgs", "ratio", "incr time", "snap time"],
+        format!(
+            "Ablation: traffic scalability (§4.5 remark), {}",
+            model.name
+        ),
+        &[
+            "procs",
+            "incr msgs",
+            "snap msgs",
+            "ratio",
+            "incr time",
+            "snap time",
+        ],
     );
     let tree = model.build_tree();
     for np in [32usize, 64, 128, 256, 512] {

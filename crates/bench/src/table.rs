@@ -100,7 +100,7 @@ mod tests {
     #[test]
     fn float_formatting() {
         assert_eq!(f(0.0), "0");
-        assert_eq!(f(3.14159), "3.14");
+        assert_eq!(f(1.23456), "1.23");
         assert_eq!(f(42.123), "42.1");
         assert_eq!(f(12345.6), "12346");
     }

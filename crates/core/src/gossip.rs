@@ -23,6 +23,7 @@ use crate::mech::{ChangeOrigin, Gate, MechStats, Mechanism, Notify};
 use crate::msg::StateMsg;
 use crate::outbox::Outbox;
 use crate::view::LoadTable;
+use loadex_obs::ProtocolEvent;
 use loadex_sim::{ActorId, SimDuration};
 
 /// Epidemic (push) gossip of versioned load entries.
@@ -100,8 +101,13 @@ impl Mechanism for GossipMechanism {
         self.versions[self.me.index()] += 1;
     }
 
-    fn on_state_msg(&mut self, _from: ActorId, msg: StateMsg, _out: &mut Outbox) -> Vec<Notify> {
+    fn on_state_msg(&mut self, from: ActorId, msg: StateMsg, out: &mut Outbox) -> Vec<Notify> {
         self.stats.msgs_received += 1;
+        out.note(|| ProtocolEvent::StateRecv {
+            from,
+            kind: msg.kind_name(),
+            bytes: msg.wire_size(),
+        });
         match msg {
             StateMsg::Gossip { entries } => {
                 for (q, ver, load) in entries {
@@ -140,7 +146,11 @@ impl Mechanism for GossipMechanism {
         Gate::Ready
     }
 
-    fn complete_decision(&mut self, _assignments: &[(ActorId, Load)], _out: &mut Outbox) -> Vec<Notify> {
+    fn complete_decision(
+        &mut self,
+        _assignments: &[(ActorId, Load)],
+        _out: &mut Outbox,
+    ) -> Vec<Notify> {
         self.stats.decisions += 1;
         Vec::new()
     }
@@ -197,21 +207,27 @@ mod tests {
         let mut out = Outbox::new();
         m.on_state_msg(
             ActorId(1),
-            StateMsg::Gossip { entries: vec![(ActorId(2), 5, Load::work(50.0))] },
+            StateMsg::Gossip {
+                entries: vec![(ActorId(2), 5, Load::work(50.0))],
+            },
             &mut out,
         );
         assert_eq!(m.view().get(ActorId(2)), Load::work(50.0));
         // An older rumour must not regress the entry.
         m.on_state_msg(
             ActorId(1),
-            StateMsg::Gossip { entries: vec![(ActorId(2), 3, Load::work(10.0))] },
+            StateMsg::Gossip {
+                entries: vec![(ActorId(2), 3, Load::work(10.0))],
+            },
             &mut out,
         );
         assert_eq!(m.view().get(ActorId(2)), Load::work(50.0));
         // A newer one updates it.
         m.on_state_msg(
             ActorId(1),
-            StateMsg::Gossip { entries: vec![(ActorId(2), 6, Load::work(60.0))] },
+            StateMsg::Gossip {
+                entries: vec![(ActorId(2), 6, Load::work(60.0))],
+            },
             &mut out,
         );
         assert_eq!(m.view().get(ActorId(2)), Load::work(60.0));
@@ -224,7 +240,9 @@ mod tests {
         m.on_local_change(Load::work(7.0), ChangeOrigin::Local, &mut out);
         m.on_state_msg(
             ActorId(1),
-            StateMsg::Gossip { entries: vec![(ActorId(0), 99, Load::work(0.0))] },
+            StateMsg::Gossip {
+                entries: vec![(ActorId(0), 99, Load::work(0.0))],
+            },
             &mut out,
         );
         assert_eq!(m.view().my_load(), Load::work(7.0));

@@ -22,6 +22,7 @@ use crate::mech::{ChangeOrigin, Gate, MechStats, Mechanism, Notify};
 use crate::msg::StateMsg;
 use crate::outbox::Outbox;
 use crate::view::LoadTable;
+use loadex_obs::ProtocolEvent;
 use loadex_sim::ActorId;
 
 /// Increment-based mechanism with the `MasterToAll` reservation broadcast.
@@ -135,8 +136,13 @@ impl Mechanism for IncrementMechanism {
         }
     }
 
-    fn on_state_msg(&mut self, from: ActorId, msg: StateMsg, _out: &mut Outbox) -> Vec<Notify> {
+    fn on_state_msg(&mut self, from: ActorId, msg: StateMsg, out: &mut Outbox) -> Vec<Notify> {
         self.stats.msgs_received += 1;
+        out.note(|| ProtocolEvent::StateRecv {
+            from,
+            kind: msg.kind_name(),
+            bytes: msg.wire_size(),
+        });
         match msg {
             // Algorithm 3 line 12: load(Pj) += ∆lj.
             StateMsg::UpdateDelta { delta } => self.view.add(from, delta),
@@ -150,7 +156,10 @@ impl Mechanism for IncrementMechanism {
                 }
             }
             StateMsg::NoMoreMaster => self.interested[from.index()] = false,
-            other => panic!("increment mechanism received unexpected message {:?}", other),
+            other => panic!(
+                "increment mechanism received unexpected message {:?}",
+                other
+            ),
         }
         Vec::new()
     }
@@ -159,7 +168,11 @@ impl Mechanism for IncrementMechanism {
         Gate::Ready
     }
 
-    fn complete_decision(&mut self, assignments: &[(ActorId, Load)], out: &mut Outbox) -> Vec<Notify> {
+    fn complete_decision(
+        &mut self,
+        assignments: &[(ActorId, Load)],
+        out: &mut Outbox,
+    ) -> Vec<Notify> {
         self.stats.decisions += 1;
         if assignments.is_empty() {
             return Vec::new();
@@ -218,7 +231,12 @@ mod tests {
         let staged: Vec<_> = out.drain().collect();
         assert_eq!(staged.len(), 2);
         for s in &staged {
-            assert_eq!(s.msg, StateMsg::UpdateDelta { delta: Load::work(12.0) });
+            assert_eq!(
+                s.msg,
+                StateMsg::UpdateDelta {
+                    delta: Load::work(12.0)
+                }
+            );
         }
         // Accumulator reset after flush (Algorithm 3 line 10).
         m.on_local_change(Load::work(4.0), ChangeOrigin::Local, &mut out);
@@ -252,8 +270,20 @@ mod tests {
     #[test]
     fn update_delta_accumulates_in_view() {
         let (mut m, mut out) = mech(3);
-        m.on_state_msg(ActorId(1), StateMsg::UpdateDelta { delta: Load::work(5.0) }, &mut out);
-        m.on_state_msg(ActorId(1), StateMsg::UpdateDelta { delta: Load::work(3.0) }, &mut out);
+        m.on_state_msg(
+            ActorId(1),
+            StateMsg::UpdateDelta {
+                delta: Load::work(5.0),
+            },
+            &mut out,
+        );
+        m.on_state_msg(
+            ActorId(1),
+            StateMsg::UpdateDelta {
+                delta: Load::work(3.0),
+            },
+            &mut out,
+        );
         assert_eq!(m.view().get(ActorId(1)), Load::work(8.0));
     }
 
@@ -264,9 +294,17 @@ mod tests {
             assignments: vec![(ActorId(0), Load::work(7.0)), (ActorId(2), Load::work(9.0))],
         };
         m.on_state_msg(ActorId(3), msg, &mut out);
-        assert_eq!(m.view().my_load(), Load::work(7.0), "my_load += δ (line 21)");
+        assert_eq!(
+            m.view().my_load(),
+            Load::work(7.0),
+            "my_load += δ (line 21)"
+        );
         assert_eq!(m.view().get(ActorId(2)), Load::work(9.0));
-        assert_eq!(m.view().get(ActorId(3)), Load::ZERO, "the master is not in the list");
+        assert_eq!(
+            m.view().get(ActorId(3)),
+            Load::ZERO,
+            "the master is not in the list"
+        );
     }
 
     #[test]
@@ -274,7 +312,10 @@ mod tests {
         let (mut m, mut out) = mech(4);
         let gate = m.request_decision(&mut out);
         assert_eq!(gate, Gate::Ready);
-        let sel = [(ActorId(1), Load::new(30.0, 8.0)), (ActorId(3), Load::new(20.0, 6.0))];
+        let sel = [
+            (ActorId(1), Load::new(30.0, 8.0)),
+            (ActorId(3), Load::new(20.0, 6.0)),
+        ];
         m.complete_decision(&sel, &mut out);
         // Local view reserved immediately.
         assert_eq!(m.view().get(ActorId(1)), Load::new(30.0, 8.0));

@@ -43,13 +43,13 @@ pub mod periodic;
 pub mod snapshot;
 pub mod view;
 
+pub use gossip::GossipMechanism;
 pub use increments::IncrementMechanism;
 pub use load::{Load, Threshold};
 pub use mech::{AnyMechanism, ChangeOrigin, Gate, MechKind, MechStats, Mechanism, Notify};
 pub use msg::StateMsg;
-pub use gossip::GossipMechanism;
 pub use naive::NaiveMechanism;
-pub use periodic::PeriodicMechanism;
 pub use outbox::{Dest, OutMsg, Outbox};
+pub use periodic::PeriodicMechanism;
 pub use snapshot::{LeaderPolicy, SnapshotMechanism};
 pub use view::LoadTable;

@@ -5,13 +5,13 @@
 //! (active memory in use, §4.2.1). Both are carried together in a [`Load`]
 //! value so a single mechanism instance serves both scheduling strategies.
 
-use serde::{Deserialize, Serialize};
+use serde::{ser::JsonMap, Serialize};
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
 
 /// A (workload, memory) pair. Units are flops and bytes (or "real entries",
 /// the unit used in the paper's Table 4 — the mechanisms are unit-agnostic).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Load {
     /// Floating-point operations still to be done.
     pub work: f64,
@@ -21,7 +21,10 @@ pub struct Load {
 
 impl Load {
     /// The zero load.
-    pub const ZERO: Load = Load { work: 0.0, mem: 0.0 };
+    pub const ZERO: Load = Load {
+        work: 0.0,
+        mem: 0.0,
+    };
 
     /// Construct from components.
     pub const fn new(work: f64, mem: f64) -> Load {
@@ -122,7 +125,7 @@ impl Sum for Load {
 ///
 /// §2.3: “it is consistent to choose a threshold of the same order as the
 /// granularity of the tasks appearing in the slave selections.”
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Threshold {
     /// Workload threshold (flops).
     pub work: f64,
@@ -132,7 +135,10 @@ pub struct Threshold {
 
 impl Threshold {
     /// Broadcast on every nonzero variation (useful in tests).
-    pub const ZERO: Threshold = Threshold { work: 0.0, mem: 0.0 };
+    pub const ZERO: Threshold = Threshold {
+        work: 0.0,
+        mem: 0.0,
+    };
 
     /// Construct from components.
     pub const fn new(work: f64, mem: f64) -> Threshold {
@@ -143,6 +149,22 @@ impl Threshold {
 impl Default for Threshold {
     fn default() -> Self {
         Threshold::ZERO
+    }
+}
+
+impl Serialize for Load {
+    fn serialize_json(&self, out: &mut String) {
+        let mut map = JsonMap::new(out);
+        map.field("work", &self.work).field("mem", &self.mem);
+        map.end();
+    }
+}
+
+impl Serialize for Threshold {
+    fn serialize_json(&self, out: &mut String) {
+        let mut map = JsonMap::new(out);
+        map.field("work", &self.work).field("mem", &self.mem);
+        map.end();
     }
 }
 

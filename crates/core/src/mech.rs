@@ -141,13 +141,22 @@ pub trait Mechanism {
 
     /// Process one incoming state message. Returned notifications must be
     /// acted upon by the embedding (see [`Notify`]).
-    fn on_state_msg(&mut self, from: ActorId, msg: crate::msg::StateMsg, out: &mut Outbox) -> Vec<Notify>;
+    fn on_state_msg(
+        &mut self,
+        from: ActorId,
+        msg: crate::msg::StateMsg,
+        out: &mut Outbox,
+    ) -> Vec<Notify>;
 
     /// Open a dynamic scheduling decision.
     fn request_decision(&mut self, out: &mut Outbox) -> Gate;
 
     /// Finish a decision with the selected `(slave, assigned load)` pairs.
-    fn complete_decision(&mut self, assignments: &[(ActorId, Load)], out: &mut Outbox) -> Vec<Notify>;
+    fn complete_decision(
+        &mut self,
+        assignments: &[(ActorId, Load)],
+        out: &mut Outbox,
+    ) -> Vec<Notify>;
 
     /// Announce that this process will never again be a master (§2.3).
     fn no_more_master(&mut self, out: &mut Outbox);
@@ -234,13 +243,22 @@ impl Mechanism for AnyMechanism {
     fn on_local_change(&mut self, delta: Load, origin: ChangeOrigin, out: &mut Outbox) {
         self.as_dyn_mut().on_local_change(delta, origin, out)
     }
-    fn on_state_msg(&mut self, from: ActorId, msg: crate::msg::StateMsg, out: &mut Outbox) -> Vec<Notify> {
+    fn on_state_msg(
+        &mut self,
+        from: ActorId,
+        msg: crate::msg::StateMsg,
+        out: &mut Outbox,
+    ) -> Vec<Notify> {
         self.as_dyn_mut().on_state_msg(from, msg, out)
     }
     fn request_decision(&mut self, out: &mut Outbox) -> Gate {
         self.as_dyn_mut().request_decision(out)
     }
-    fn complete_decision(&mut self, assignments: &[(ActorId, Load)], out: &mut Outbox) -> Vec<Notify> {
+    fn complete_decision(
+        &mut self,
+        assignments: &[(ActorId, Load)],
+        out: &mut Outbox,
+    ) -> Vec<Notify> {
         self.as_dyn_mut().complete_decision(assignments, out)
     }
     fn no_more_master(&mut self, out: &mut Outbox) {

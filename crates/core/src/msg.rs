@@ -108,7 +108,10 @@ mod tests {
 
     #[test]
     fn snapshot_answer_is_larger_than_update() {
-        let snp = StateMsg::Snp { load: Load::ZERO, req: 1 };
+        let snp = StateMsg::Snp {
+            load: Load::ZERO,
+            req: 1,
+        };
         let upd = StateMsg::UpdateDelta { delta: Load::ZERO };
         assert!(snp.wire_size() > upd.wire_size());
     }
@@ -133,10 +136,18 @@ mod tests {
         let msgs = [
             StateMsg::Update { load: Load::ZERO },
             StateMsg::UpdateDelta { delta: Load::ZERO },
-            StateMsg::MasterToAll { assignments: vec![] },
+            StateMsg::MasterToAll {
+                assignments: vec![],
+            },
             StateMsg::NoMoreMaster,
-            StateMsg::StartSnp { req: 0, partial: false },
-            StateMsg::Snp { load: Load::ZERO, req: 0 },
+            StateMsg::StartSnp {
+                req: 0,
+                partial: false,
+            },
+            StateMsg::Snp {
+                load: Load::ZERO,
+                req: 0,
+            },
             StateMsg::EndSnp,
             StateMsg::MasterToSlave { delta: Load::ZERO },
             StateMsg::Gossip { entries: vec![] },

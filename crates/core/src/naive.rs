@@ -15,6 +15,7 @@ use crate::mech::{ChangeOrigin, Gate, MechStats, Mechanism, Notify};
 use crate::msg::StateMsg;
 use crate::outbox::Outbox;
 use crate::view::LoadTable;
+use loadex_obs::ProtocolEvent;
 use loadex_sim::ActorId;
 
 /// Naive absolute-value broadcast mechanism.
@@ -86,8 +87,13 @@ impl Mechanism for NaiveMechanism {
         }
     }
 
-    fn on_state_msg(&mut self, from: ActorId, msg: StateMsg, _out: &mut Outbox) -> Vec<Notify> {
+    fn on_state_msg(&mut self, from: ActorId, msg: StateMsg, out: &mut Outbox) -> Vec<Notify> {
         self.stats.msgs_received += 1;
+        out.note(|| ProtocolEvent::StateRecv {
+            from,
+            kind: msg.kind_name(),
+            bytes: msg.wire_size(),
+        });
         match msg {
             // Algorithm 2 line 7: load(Pj) = lj.
             StateMsg::Update { load } => self.view.set(from, load),
@@ -103,7 +109,11 @@ impl Mechanism for NaiveMechanism {
         Gate::Ready
     }
 
-    fn complete_decision(&mut self, _assignments: &[(ActorId, Load)], _out: &mut Outbox) -> Vec<Notify> {
+    fn complete_decision(
+        &mut self,
+        _assignments: &[(ActorId, Load)],
+        _out: &mut Outbox,
+    ) -> Vec<Notify> {
         // No reservation broadcast: this is precisely the naive mechanism's
         // weakness illustrated by Figure 1. The slaves' loads will only be
         // seen once the slaves themselves process the work and re-broadcast.
@@ -154,18 +164,35 @@ mod tests {
         let staged: Vec<_> = out.drain().collect();
         assert_eq!(staged.len(), 2, "one per other process");
         for s in &staged {
-            assert_eq!(s.msg, StateMsg::Update { load: Load::work(12.0) });
+            assert_eq!(
+                s.msg,
+                StateMsg::Update {
+                    load: Load::work(12.0)
+                }
+            );
         }
     }
 
     #[test]
     fn update_overwrites_view() {
         let (mut m, mut out) = mech(3);
-        let n = m.on_state_msg(ActorId(2), StateMsg::Update { load: Load::new(7.0, 3.0) }, &mut out);
+        let n = m.on_state_msg(
+            ActorId(2),
+            StateMsg::Update {
+                load: Load::new(7.0, 3.0),
+            },
+            &mut out,
+        );
         assert!(n.is_empty());
         assert_eq!(m.view().get(ActorId(2)), Load::new(7.0, 3.0));
         // A second update replaces, not accumulates.
-        m.on_state_msg(ActorId(2), StateMsg::Update { load: Load::new(1.0, 1.0) }, &mut out);
+        m.on_state_msg(
+            ActorId(2),
+            StateMsg::Update {
+                load: Load::new(1.0, 1.0),
+            },
+            &mut out,
+        );
         assert_eq!(m.view().get(ActorId(2)), Load::new(1.0, 1.0));
     }
 

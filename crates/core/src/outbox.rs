@@ -4,8 +4,15 @@
 //! thread runtime) drains it and performs the actual sends. This keeps the
 //! mechanisms transport-agnostic and makes their unit tests trivial: assert
 //! on the outbox contents.
+//!
+//! The outbox doubles as the staging area for [`ProtocolEvent`]s: mechanisms
+//! are pure state machines without a clock, so they stage *untimed* events
+//! here and the embedding stamps `(time, actor)` when it forwards them to a
+//! `loadex_obs::Recorder`. Staging is off by default and costs a single
+//! boolean check per site (see [`Outbox::note`]).
 
 use crate::msg::StateMsg;
+use loadex_obs::ProtocolEvent;
 use loadex_sim::ActorId;
 
 /// Where a staged message goes.
@@ -26,28 +33,68 @@ pub struct OutMsg {
     pub msg: StateMsg,
 }
 
-/// A buffer of staged outgoing state messages.
+/// A buffer of staged outgoing state messages and protocol events.
 #[derive(Debug, Default)]
 pub struct Outbox {
     msgs: Vec<OutMsg>,
+    events: Vec<ProtocolEvent>,
+    observe: bool,
 }
 
 impl Outbox {
-    /// An empty outbox.
+    /// An empty outbox (event staging disabled).
     pub fn new() -> Self {
-        Outbox { msgs: Vec::new() }
+        Outbox::default()
+    }
+
+    /// An empty outbox that stages [`ProtocolEvent`]s alongside messages.
+    pub fn observed() -> Self {
+        let mut ob = Outbox::default();
+        ob.set_observe(true);
+        ob
+    }
+
+    /// Turn event staging on or off.
+    pub fn set_observe(&mut self, observe: bool) {
+        self.observe = observe;
+    }
+
+    /// Whether [`Outbox::note`] currently keeps events.
+    #[inline]
+    pub fn observing(&self) -> bool {
+        self.observe
+    }
+
+    /// Stage a protocol event; `build` only runs while observing, so hot
+    /// sites pay one boolean check when tracing is off.
+    #[inline]
+    pub fn note(&mut self, build: impl FnOnce() -> ProtocolEvent) {
+        if self.observe {
+            self.events.push(build());
+        }
     }
 
     /// Stage a message for one destination.
     pub fn send(&mut self, to: ActorId, msg: StateMsg) {
+        self.note(|| ProtocolEvent::StateSend {
+            to: Some(to),
+            kind: msg.kind_name(),
+            bytes: msg.wire_size(),
+        });
         self.msgs.push(OutMsg {
             dest: Dest::One(to),
             msg,
         });
     }
 
-    /// Stage a broadcast to all other processes.
+    /// Stage a broadcast to all other processes (observed as a single
+    /// logical send with no destination).
     pub fn broadcast(&mut self, msg: StateMsg) {
+        self.note(|| ProtocolEvent::StateSend {
+            to: None,
+            kind: msg.kind_name(),
+            bytes: msg.wire_size(),
+        });
         self.msgs.push(OutMsg {
             dest: Dest::AllOthers,
             msg,
@@ -59,9 +106,19 @@ impl Outbox {
         self.msgs.drain(..)
     }
 
+    /// Drain all staged protocol events in emission order.
+    pub fn drain_events(&mut self) -> impl Iterator<Item = ProtocolEvent> + '_ {
+        self.events.drain(..)
+    }
+
     /// Staged messages (without draining), for assertions.
     pub fn peek(&self) -> &[OutMsg] {
         &self.msgs
+    }
+
+    /// Staged events (without draining), for assertions.
+    pub fn peek_events(&self) -> &[ProtocolEvent] {
+        &self.events
     }
 
     /// Number of staged messages.
@@ -98,5 +155,36 @@ mod tests {
         ob.send(ActorId(0), StateMsg::NoMoreMaster);
         assert_eq!(ob.peek().len(), 1);
         assert_eq!(ob.peek().len(), 1);
+    }
+
+    #[test]
+    fn events_only_staged_while_observing() {
+        let mut ob = Outbox::new();
+        ob.send(ActorId(1), StateMsg::EndSnp);
+        ob.note(|| panic!("must not be built when not observing"));
+        assert!(ob.peek_events().is_empty());
+
+        let mut ob = Outbox::observed();
+        ob.send(ActorId(1), StateMsg::EndSnp);
+        ob.broadcast(StateMsg::NoMoreMaster);
+        ob.note(|| ProtocolEvent::Blocked);
+        let events: Vec<_> = ob.drain_events().collect();
+        assert_eq!(
+            events,
+            vec![
+                ProtocolEvent::StateSend {
+                    to: Some(ActorId(1)),
+                    kind: "end_snp",
+                    bytes: StateMsg::EndSnp.wire_size(),
+                },
+                ProtocolEvent::StateSend {
+                    to: None,
+                    kind: "no_more_master",
+                    bytes: StateMsg::NoMoreMaster.wire_size(),
+                },
+                ProtocolEvent::Blocked,
+            ]
+        );
+        assert_eq!(ob.len(), 2, "messages are unaffected by event drain");
     }
 }

@@ -16,6 +16,7 @@ use crate::mech::{ChangeOrigin, Gate, MechStats, Mechanism, Notify};
 use crate::msg::StateMsg;
 use crate::outbox::Outbox;
 use crate::view::LoadTable;
+use loadex_obs::ProtocolEvent;
 use loadex_sim::{ActorId, SimDuration};
 
 /// Time-driven absolute-load broadcast.
@@ -83,8 +84,13 @@ impl Mechanism for PeriodicMechanism {
         self.view.set(self.me, v);
     }
 
-    fn on_state_msg(&mut self, from: ActorId, msg: StateMsg, _out: &mut Outbox) -> Vec<Notify> {
+    fn on_state_msg(&mut self, from: ActorId, msg: StateMsg, out: &mut Outbox) -> Vec<Notify> {
         self.stats.msgs_received += 1;
+        out.note(|| ProtocolEvent::StateRecv {
+            from,
+            kind: msg.kind_name(),
+            bytes: msg.wire_size(),
+        });
         match msg {
             StateMsg::Update { load } => self.view.set(from, load),
             StateMsg::NoMoreMaster => self.interested[from.index()] = false,
@@ -110,7 +116,11 @@ impl Mechanism for PeriodicMechanism {
         Gate::Ready
     }
 
-    fn complete_decision(&mut self, _assignments: &[(ActorId, Load)], _out: &mut Outbox) -> Vec<Notify> {
+    fn complete_decision(
+        &mut self,
+        _assignments: &[(ActorId, Load)],
+        _out: &mut Outbox,
+    ) -> Vec<Notify> {
         self.stats.decisions += 1;
         Vec::new()
     }
@@ -153,7 +163,12 @@ mod tests {
         m.on_timer(&mut out);
         let msgs: Vec<_> = out.drain().collect();
         assert_eq!(msgs.len(), 2);
-        assert_eq!(msgs[0].msg, StateMsg::Update { load: Load::work(5.0) });
+        assert_eq!(
+            msgs[0].msg,
+            StateMsg::Update {
+                load: Load::work(5.0)
+            }
+        );
     }
 
     #[test]

@@ -35,6 +35,7 @@ use crate::mech::{ChangeOrigin, Gate, MechStats, Mechanism, Notify};
 use crate::msg::StateMsg;
 use crate::outbox::Outbox;
 use crate::view::LoadTable;
+use loadex_obs::ProtocolEvent;
 use loadex_sim::ActorId;
 
 /// Where the initiator side of the state machine stands.
@@ -190,6 +191,8 @@ impl SnapshotMechanism {
         self.nb_msgs = 0;
         self.phase = Phase::Gathering;
         self.abandoned = false;
+        let my_req = self.request[self.me.index()];
+        out.note(|| ProtocolEvent::SnapshotStart { req: my_req });
         let msg = StateMsg::StartSnp {
             req: self.request[self.me.index()],
             partial: self.my_partial,
@@ -229,7 +232,13 @@ impl SnapshotMechanism {
         leader
     }
 
-    fn on_start_snp(&mut self, pi: ActorId, req: u64, partial: bool, out: &mut Outbox) -> Vec<Notify> {
+    fn on_start_snp(
+        &mut self,
+        pi: ActorId,
+        req: u64,
+        partial: bool,
+        out: &mut Outbox,
+    ) -> Vec<Notify> {
         let mut notifies = Vec::new();
         // Reception lines 1–6.
         self.leader = Some(self.policy.elect(pi, self.leader));
@@ -242,6 +251,11 @@ impl SnapshotMechanism {
         if self.leader == Some(self.me) {
             self.delayed[pi.index()] = true;
             self.stats.delayed_answers += 1;
+            if self.phase == Phase::Gathering {
+                let my_req = self.request[self.me.index()];
+                out.note(|| ProtocolEvent::ElectionWon { req: my_req });
+            }
+            out.note(|| ProtocolEvent::DelayedAnswer { to: pi, req });
             return notifies;
         }
         // §5 extension note: for *partial* snapshots, `pi` may not have
@@ -269,12 +283,18 @@ impl SnapshotMechanism {
             // (`during_snp := false`) and will re-issue it later.
             if self.phase == Phase::Gathering && self.nb_snp == 1 {
                 self.abandoned = true;
+                let my_req = self.request[self.me.index()];
+                out.note(|| ProtocolEvent::ElectionLost {
+                    req: my_req,
+                    winner: pi,
+                });
             }
         } else {
             // Lines 15–22: already in snapshot mode.
             if self.leader != Some(pi) || self.delayed[pi.index()] {
                 self.delayed[pi.index()] = true;
                 self.stats.delayed_answers += 1;
+                out.note(|| ProtocolEvent::DelayedAnswer { to: pi, req });
             } else {
                 let answer = StateMsg::Snp {
                     load: self.my_state(),
@@ -322,6 +342,8 @@ impl SnapshotMechanism {
                     // and will now release their delayed answers to us.
                     if self.phase == Phase::Gathering && self.abandoned {
                         self.abandoned = false;
+                        let my_req = self.request[self.me.index()];
+                        out.note(|| ProtocolEvent::ElectionWon { req: my_req });
                         if self.nb_msgs == self.gather_target {
                             notifies.extend(self.gathering_complete());
                         }
@@ -419,6 +441,11 @@ impl Mechanism for SnapshotMechanism {
 
     fn on_state_msg(&mut self, from: ActorId, msg: StateMsg, out: &mut Outbox) -> Vec<Notify> {
         self.stats.msgs_received += 1;
+        out.note(|| ProtocolEvent::StateRecv {
+            from,
+            kind: msg.kind_name(),
+            bytes: msg.wire_size(),
+        });
         match msg {
             StateMsg::StartSnp { req, partial } => self.on_start_snp(from, req, partial, out),
             StateMsg::EndSnp => self.on_end_snp(from, out),
@@ -443,9 +470,15 @@ impl Mechanism for SnapshotMechanism {
         self.request_prepared(out)
     }
 
-    fn complete_decision(&mut self, assignments: &[(ActorId, Load)], out: &mut Outbox) -> Vec<Notify> {
+    fn complete_decision(
+        &mut self,
+        assignments: &[(ActorId, Load)],
+        out: &mut Outbox,
+    ) -> Vec<Notify> {
         assert_eq!(self.phase, Phase::ReadyToDecide, "no decision in flight");
         self.stats.decisions += 1;
+        let my_req = self.request[self.me.index()];
+        out.note(|| ProtocolEvent::SnapshotEnd { req: my_req });
         let mut notifies = Vec::new();
         // Algorithm 4 lines 3–5: tell each selected slave its share.
         for &(p, dl) in assignments {
@@ -531,7 +564,9 @@ mod tests {
     impl Cluster {
         fn new(n: usize) -> Self {
             Cluster {
-                mechs: (0..n).map(|i| SnapshotMechanism::new(ActorId(i), n)).collect(),
+                mechs: (0..n)
+                    .map(|i| SnapshotMechanism::new(ActorId(i), n))
+                    .collect(),
                 queue: VecDeque::new(),
                 notifications: Vec::new(),
             }
@@ -625,7 +660,9 @@ mod tests {
         assert!(!c.mechs[2].blocked());
         assert_eq!(c.mechs[1].view().my_load(), Load::work(12.0));
         assert!(c.notifications.contains(&(ActorId(1), Notify::Resumed)));
-        assert!(c.notifications.contains(&(ActorId(0), Notify::DecisionReady)));
+        assert!(c
+            .notifications
+            .contains(&(ActorId(0), Notify::DecisionReady)));
     }
 
     #[test]
@@ -711,7 +748,13 @@ mod tests {
 
         // P1 receives p3's start_snp first: answers it (first snapshot seen).
         let (_, _, m1) = {
-            let pos = c.queue.iter().position(|(f, t, m)| *f == p3 && *t == p1 && matches!(m, StateMsg::StartSnp { .. })).unwrap();
+            let pos = c
+                .queue
+                .iter()
+                .position(|(f, t, m)| {
+                    *f == p3 && *t == p1 && matches!(m, StateMsg::StartSnp { .. })
+                })
+                .unwrap();
             c.queue.remove(pos).unwrap()
         };
         let mut out = Outbox::new();
@@ -722,7 +765,13 @@ mod tests {
 
         // Then P1 receives p2's start_snp: p2 outranks p3, so p1 answers p2.
         let (_, _, m2) = {
-            let pos = c.queue.iter().position(|(f, t, m)| *f == p2 && *t == p1 && matches!(m, StateMsg::StartSnp { .. })).unwrap();
+            let pos = c
+                .queue
+                .iter()
+                .position(|(f, t, m)| {
+                    *f == p2 && *t == p1 && matches!(m, StateMsg::StartSnp { .. })
+                })
+                .unwrap();
             c.queue.remove(pos).unwrap()
         };
         let mut out = Outbox::new();
@@ -743,7 +792,9 @@ mod tests {
         loop {
             guard += 1;
             assert!(guard < 10_000);
-            let Some((f, t, m)) = c.queue.pop_front() else { break };
+            let Some((f, t, m)) = c.queue.pop_front() else {
+                break;
+            };
             if t == p1 && matches!(m, StateMsg::EndSnp) {
                 deferred.push_back((f, t, m));
                 continue;
@@ -758,8 +809,14 @@ mod tests {
             }
         }
         // p1 must still be waiting (did not answer p3's new request).
-        assert!(!c.decision_ready(p3), "p3 cannot complete before p1 answers");
-        assert!(c.mechs[p1.index()].delayed[p3.index()], "p1 delays p3's new request");
+        assert!(
+            !c.decision_ready(p3),
+            "p3 cannot complete before p1 answers"
+        );
+        assert!(
+            c.mechs[p1.index()].delayed[p3.index()],
+            "p1 delays p3's new request"
+        );
 
         // Now release the end_snp to p1: p1 elects p3 and releases the
         // delayed answer — which includes p2's decision (p1 got 50 work).
@@ -789,12 +846,33 @@ mod tests {
         assert_eq!(m.request_decision(&mut out), Gate::Wait);
         let req = m.my_request();
         // An answer to an old request id must be ignored.
-        let n = m.on_state_msg(ActorId(1), StateMsg::Snp { load: Load::work(9.0), req: req - 1 }, &mut out);
+        let n = m.on_state_msg(
+            ActorId(1),
+            StateMsg::Snp {
+                load: Load::work(9.0),
+                req: req - 1,
+            },
+            &mut out,
+        );
         assert!(n.is_empty());
         assert_eq!(m.missing_answers(), 2);
         // Valid answers complete the snapshot.
-        m.on_state_msg(ActorId(1), StateMsg::Snp { load: Load::work(1.0), req }, &mut out);
-        let n = m.on_state_msg(ActorId(2), StateMsg::Snp { load: Load::work(2.0), req }, &mut out);
+        m.on_state_msg(
+            ActorId(1),
+            StateMsg::Snp {
+                load: Load::work(1.0),
+                req,
+            },
+            &mut out,
+        );
+        let n = m.on_state_msg(
+            ActorId(2),
+            StateMsg::Snp {
+                load: Load::work(2.0),
+                req,
+            },
+            &mut out,
+        );
         assert_eq!(n, vec![Notify::DecisionReady]);
     }
 
@@ -803,7 +881,13 @@ mod tests {
         let mut m = SnapshotMechanism::new(ActorId(1), 3);
         let mut out = Outbox::new();
         m.initialize(Load::work(5.0));
-        m.on_state_msg(ActorId(0), StateMsg::MasterToSlave { delta: Load::new(20.0, 4.0) }, &mut out);
+        m.on_state_msg(
+            ActorId(0),
+            StateMsg::MasterToSlave {
+                delta: Load::new(20.0, 4.0),
+            },
+            &mut out,
+        );
         assert_eq!(m.view().my_load(), Load::new(25.0, 4.0));
         // The later slave-task arrival must not double-count.
         m.on_local_change(Load::new(20.0, 4.0), ChangeOrigin::SlaveTask, &mut out);
@@ -968,7 +1052,10 @@ mod tests {
         c.stage(ActorId(3), &mut out);
         c.deliver_all();
         assert!(c.decision_ready(ActorId(0)));
-        assert!(c.decision_ready(ActorId(3)), "disjoint snapshots must not wait on each other");
+        assert!(
+            c.decision_ready(ActorId(3)),
+            "disjoint snapshots must not wait on each other"
+        );
         c.complete_decision(ActorId(0), &[]);
         c.complete_decision(ActorId(3), &[]);
         c.deliver_all();
@@ -994,7 +1081,10 @@ mod tests {
         c.mechs[1].request_decision_among(&[ActorId(3)], &mut out);
         c.stage(ActorId(1), &mut out);
         c.deliver_all();
-        assert!(!c.decision_ready(ActorId(1)), "P3 must delay P1 while P0 is open");
+        assert!(
+            !c.decision_ready(ActorId(1)),
+            "P3 must delay P1 while P0 is open"
+        );
         c.complete_decision(ActorId(0), &[(ActorId(3), Load::work(100.0))]);
         c.deliver_all();
         assert!(c.decision_ready(ActorId(1)));

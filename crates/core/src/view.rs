@@ -120,7 +120,11 @@ mod tests {
         t.set(ActorId(0), Load::new(1.0, 1.0));
         t.set(ActorId(1), Load::new(5.0, 0.0));
         t.set(ActorId(2), Load::new(0.0, 7.0));
-        let truth = [Load::new(1.0, 1.0), Load::new(2.0, 0.0), Load::new(0.0, 10.0)];
+        let truth = [
+            Load::new(1.0, 1.0),
+            Load::new(2.0, 0.0),
+            Load::new(0.0, 10.0),
+        ];
         assert_eq!(t.max_error(&truth), Load::new(3.0, 3.0));
     }
 

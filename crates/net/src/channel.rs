@@ -18,6 +18,14 @@ pub enum Channel {
 impl Channel {
     /// All channels, in polling priority order.
     pub const ALL: [Channel; 2] = [Channel::State, Channel::Regular];
+
+    /// Stable lowercase name (used as the transport-level event `kind`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Channel::State => "state",
+            Channel::Regular => "regular",
+        }
+    }
 }
 
 /// A message in flight or in a mailbox.

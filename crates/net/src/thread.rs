@@ -11,7 +11,8 @@
 
 use crate::channel::{Channel, Envelope};
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
-use loadex_sim::ActorId;
+use loadex_obs::{ProtocolEvent, Recorder};
+use loadex_sim::{ActorId, SimTime};
 use std::time::{Duration, Instant};
 
 /// Error from a blocking receive.
@@ -31,6 +32,13 @@ pub struct Endpoint<M> {
     regular_tx: Vec<Sender<Envelope<M>>>,
     state_rx: Receiver<Envelope<M>>,
     regular_rx: Receiver<Envelope<M>>,
+    /// Optional event sink ([`Endpoint::observe`]): sends and receives emit
+    /// transport-level events stamped with wall time since `epoch`. The
+    /// recorder log is behind a mutex, so endpoints on different threads can
+    /// share one log.
+    recorder: Recorder,
+    /// Time origin of emitted events.
+    epoch: Instant,
 }
 
 /// Factory for a fully-connected set of endpoints.
@@ -38,6 +46,7 @@ pub struct ThreadNetwork;
 
 impl ThreadNetwork {
     /// Create `nprocs` fully-connected endpoints. Move each into its thread.
+    #[allow(clippy::new_ret_no_self)] // factory: the endpoints are the network
     pub fn new<M>(nprocs: usize) -> Vec<Endpoint<M>> {
         assert!(nprocs >= 1);
         let mut state_tx = Vec::with_capacity(nprocs);
@@ -63,6 +72,8 @@ impl ThreadNetwork {
                 regular_tx: regular_tx.clone(),
                 state_rx: srx,
                 regular_rx: rrx,
+                recorder: Recorder::disabled(),
+                epoch: Instant::now(),
             })
             .collect()
     }
@@ -79,11 +90,41 @@ impl<M> Endpoint<M> {
         self.nprocs
     }
 
+    /// Attach an event recorder. Every subsequent send emits `state_send`
+    /// and every received envelope emits `state_recv` (the event `kind` is
+    /// the channel name), stamped with nanoseconds since `epoch` — pass the
+    /// same recorder clone and epoch to every endpoint so one merged,
+    /// consistently-clocked log emerges.
+    pub fn observe(&mut self, recorder: Recorder, epoch: Instant) {
+        self.recorder = recorder;
+        self.epoch = epoch;
+    }
+
+    /// Wall time since the observation epoch, as a simulation timestamp.
+    fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    fn note_recv(&self, env: &Envelope<M>) {
+        self.recorder
+            .emit_with(self.now(), self.rank, || ProtocolEvent::StateRecv {
+                from: env.from,
+                kind: env.channel.name(),
+                bytes: env.size,
+            });
+    }
+
     /// Send `msg` to `to` on `channel`. Panics on self-send or out-of-range
     /// rank. Returns `false` if the destination endpoint was dropped.
     pub fn send(&self, to: ActorId, channel: Channel, size: u64, msg: M) -> bool {
         assert_ne!(to, self.rank, "self-send");
         assert!(to.index() < self.nprocs, "rank out of range");
+        self.recorder
+            .emit_with(self.now(), self.rank, || ProtocolEvent::StateSend {
+                to: Some(to),
+                kind: channel.name(),
+                bytes: size,
+            });
         let env = Envelope::new(self.rank, to, channel, size, msg);
         let tx = match channel {
             Channel::State => &self.state_tx[to.index()],
@@ -106,15 +147,22 @@ impl<M> Endpoint<M> {
     /// Non-blocking receive, state channel first.
     pub fn try_recv(&self) -> Option<Envelope<M>> {
         match self.state_rx.try_recv() {
-            Ok(env) => return Some(env),
+            Ok(env) => {
+                self.note_recv(&env);
+                return Some(env);
+            }
             Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => {}
         }
-        self.regular_rx.try_recv().ok()
+        let env = self.regular_rx.try_recv().ok()?;
+        self.note_recv(&env);
+        Some(env)
     }
 
     /// Non-blocking receive from the state channel only.
     pub fn try_recv_state(&self) -> Option<Envelope<M>> {
-        self.state_rx.try_recv().ok()
+        let env = self.state_rx.try_recv().ok()?;
+        self.note_recv(&env);
+        Some(env)
     }
 
     /// Blocking receive with a deadline, state channel first.
@@ -134,7 +182,10 @@ impl<M> Endpoint<M> {
             // Brief blocking wait on the state channel; regular messages are
             // picked up on the next iteration.
             match self.state_rx.recv_timeout(Duration::from_micros(50)) {
-                Ok(env) => return Ok(env),
+                Ok(env) => {
+                    self.note_recv(&env);
+                    return Ok(env);
+                }
                 Err(_) => continue,
             }
         }
@@ -142,13 +193,15 @@ impl<M> Endpoint<M> {
 
     /// Blocking receive from the state channel only, with a deadline.
     pub fn recv_state_timeout(&self, timeout: Duration) -> Result<Envelope<M>, RecvError> {
-        self.state_rx.recv_timeout(timeout).map_err(|e| {
+        let env = self.state_rx.recv_timeout(timeout).map_err(|e| {
             if e.is_timeout() {
                 RecvError::Timeout
             } else {
                 RecvError::Disconnected
             }
-        })
+        })?;
+        self.note_recv(&env);
+        Ok(env)
     }
 }
 
@@ -195,6 +248,42 @@ mod tests {
             assert_eq!(env.msg, 7);
         }
         h.join().unwrap();
+    }
+
+    #[test]
+    fn observed_endpoints_emit_send_and_recv() {
+        let mut eps = ThreadNetwork::new::<u32>(2);
+        let rec = Recorder::enabled();
+        let epoch = Instant::now();
+        for ep in &mut eps {
+            ep.observe(rec.clone(), epoch);
+        }
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.send(ActorId(1), Channel::State, 12, 5);
+        let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.msg, 5);
+        let evs = rec.take();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].actor, ActorId(0));
+        assert_eq!(
+            evs[0].event,
+            ProtocolEvent::StateSend {
+                to: Some(ActorId(1)),
+                kind: "state",
+                bytes: 12
+            }
+        );
+        assert_eq!(evs[1].actor, ActorId(1));
+        assert_eq!(
+            evs[1].event,
+            ProtocolEvent::StateRecv {
+                from: ActorId(0),
+                kind: "state",
+                bytes: 12
+            }
+        );
+        assert!(evs[1].time >= evs[0].time, "shared epoch orders the stamps");
     }
 
     #[test]

@@ -20,8 +20,15 @@ fn regular_channel_fan_in_serializes_at_the_receiver() {
     let mut net = SimNetwork::new(n, model());
     let mut arrivals: Vec<SimTime> = (1..n)
         .map(|s| {
-            net.send(SimTime::ZERO, ActorId(s), ActorId(0), Channel::Regular, 100_000, ())
-                .at
+            net.send(
+                SimTime::ZERO,
+                ActorId(s),
+                ActorId(0),
+                Channel::Regular,
+                100_000,
+                (),
+            )
+            .at
         })
         .collect();
     arrivals.sort();
@@ -42,8 +49,15 @@ fn regular_channel_fan_out_serializes_at_the_sender() {
     let mut net = SimNetwork::new(n, model());
     let mut arrivals: Vec<SimTime> = (1..n)
         .map(|d| {
-            net.send(SimTime::ZERO, ActorId(0), ActorId(d), Channel::Regular, 100_000, ())
-                .at
+            net.send(
+                SimTime::ZERO,
+                ActorId(0),
+                ActorId(d),
+                Channel::Regular,
+                100_000,
+                (),
+            )
+            .at
         })
         .collect();
     arrivals.sort();
@@ -61,18 +75,35 @@ fn state_channel_is_not_contended() {
     let mut net = SimNetwork::new(n, model());
     let arrivals: Vec<SimTime> = (1..n)
         .map(|d| {
-            net.send(SimTime::ZERO, ActorId(0), ActorId(d), Channel::State, 32, ())
-                .at
+            net.send(
+                SimTime::ZERO,
+                ActorId(0),
+                ActorId(d),
+                Channel::State,
+                32,
+                (),
+            )
+            .at
         })
         .collect();
     let first = arrivals[0];
-    assert!(arrivals.iter().all(|&a| a == first), "state sends must be parallel");
+    assert!(
+        arrivals.iter().all(|&a| a == first),
+        "state sends must be parallel"
+    );
 }
 
 #[test]
 fn state_traffic_overtakes_bulk_transfers() {
     let mut net = SimNetwork::new(2, model());
-    let bulk = net.send(SimTime::ZERO, ActorId(0), ActorId(1), Channel::Regular, 10_000_000, ());
+    let bulk = net.send(
+        SimTime::ZERO,
+        ActorId(0),
+        ActorId(1),
+        Channel::Regular,
+        10_000_000,
+        (),
+    );
     let urgent = net.send(SimTime(1), ActorId(0), ActorId(1), Channel::State, 32, ());
     assert!(
         urgent.at < bulk.at,
@@ -83,7 +114,24 @@ fn state_traffic_overtakes_bulk_transfers() {
 #[test]
 fn disjoint_regular_pairs_do_not_contend() {
     let mut net = SimNetwork::new(4, model());
-    let a = net.send(SimTime::ZERO, ActorId(0), ActorId(1), Channel::Regular, 100_000, ());
-    let b = net.send(SimTime::ZERO, ActorId(2), ActorId(3), Channel::Regular, 100_000, ());
-    assert_eq!(a.at, b.at, "independent NIC pairs must transfer in parallel");
+    let a = net.send(
+        SimTime::ZERO,
+        ActorId(0),
+        ActorId(1),
+        Channel::Regular,
+        100_000,
+        (),
+    );
+    let b = net.send(
+        SimTime::ZERO,
+        ActorId(2),
+        ActorId(3),
+        Channel::Regular,
+        100_000,
+        (),
+    );
+    assert_eq!(
+        a.at, b.at,
+        "independent NIC pairs must transfer in parallel"
+    );
 }

@@ -1,0 +1,272 @@
+//! The typed protocol-event taxonomy.
+//!
+//! Events carry no timestamp or emitter: mechanisms are pure state machines
+//! that do not know the clock, so the embedding stamps `(time, actor)` when
+//! it forwards staged events to a [`crate::Recorder`], yielding
+//! [`EventRecord`]s.
+
+use loadex_sim::{ActorId, SimTime};
+use serde::{ser::JsonMap, Serialize};
+
+/// One protocol-level occurrence, as emitted at the instrumentation sites.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProtocolEvent {
+    /// A state message was handed to the transport. `to` is `None` for a
+    /// broadcast staged as a single logical send.
+    StateSend {
+        /// Destination process (`None` = all others).
+        to: Option<ActorId>,
+        /// Message kind (`StateMsg::kind_name`).
+        kind: &'static str,
+        /// Modeled wire size.
+        bytes: u64,
+    },
+    /// A state message was consumed by a mechanism.
+    StateRecv {
+        /// Originating process.
+        from: ActorId,
+        /// Message kind (`StateMsg::kind_name`).
+        kind: &'static str,
+        /// Modeled wire size.
+        bytes: u64,
+    },
+    /// The emitter initiated (or re-initiated) snapshot `req` (§3).
+    SnapshotStart {
+        /// Request identifier.
+        req: u64,
+    },
+    /// The emitter finalized its snapshot `req` (decision taken, `end_snp`
+    /// broadcast).
+    SnapshotEnd {
+        /// Request identifier.
+        req: u64,
+    },
+    /// The emitter won the leader election among concurrent initiators.
+    ElectionWon {
+        /// The emitter's request identifier.
+        req: u64,
+    },
+    /// The emitter lost the election to `winner` and must wait.
+    ElectionLost {
+        /// The emitter's request identifier.
+        req: u64,
+        /// The preferred rival initiator.
+        winner: ActorId,
+    },
+    /// The emitter withheld its `snp` answer to a non-leader initiator
+    /// (the sequentialisation device of §3).
+    DelayedAnswer {
+        /// The initiator whose answer is being delayed.
+        to: ActorId,
+        /// That initiator's request identifier.
+        req: u64,
+    },
+    /// A dynamic scheduling decision was opened for tree node `node`.
+    DecisionOpen {
+        /// Assembly-tree node id.
+        node: u64,
+    },
+    /// The decision for `node` completed, selecting `slaves` slaves.
+    DecisionComplete {
+        /// Assembly-tree node id.
+        node: u64,
+        /// Number of slaves selected.
+        slaves: u32,
+    },
+    /// The emitter became blocked (waiting on the exchange protocol).
+    Blocked,
+    /// The emitter resumed from a blocked state.
+    Resumed,
+    /// A solver task started executing.
+    TaskStart {
+        /// Assembly-tree node id.
+        node: u64,
+        /// Task kind (static string, e.g. `"master"`, `"slave"`).
+        kind: &'static str,
+    },
+    /// A solver task finished.
+    TaskEnd {
+        /// Assembly-tree node id.
+        node: u64,
+    },
+    /// Active memory grew by `entries` real entries.
+    MemAlloc {
+        /// Size of the allocation, in factor entries.
+        entries: f64,
+    },
+    /// Active memory shrank by `entries` real entries.
+    MemFree {
+        /// Size of the release, in factor entries.
+        entries: f64,
+    },
+}
+
+impl ProtocolEvent {
+    /// Stable snake_case name of the event variant (used as the JSONL `ev`
+    /// field and the Chrome trace event name).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolEvent::StateSend { .. } => "state_send",
+            ProtocolEvent::StateRecv { .. } => "state_recv",
+            ProtocolEvent::SnapshotStart { .. } => "snapshot_start",
+            ProtocolEvent::SnapshotEnd { .. } => "snapshot_end",
+            ProtocolEvent::ElectionWon { .. } => "election_won",
+            ProtocolEvent::ElectionLost { .. } => "election_lost",
+            ProtocolEvent::DelayedAnswer { .. } => "delayed_answer",
+            ProtocolEvent::DecisionOpen { .. } => "decision_open",
+            ProtocolEvent::DecisionComplete { .. } => "decision_complete",
+            ProtocolEvent::Blocked => "blocked",
+            ProtocolEvent::Resumed => "resumed",
+            ProtocolEvent::TaskStart { .. } => "task_start",
+            ProtocolEvent::TaskEnd { .. } => "task_end",
+            ProtocolEvent::MemAlloc { .. } => "mem_alloc",
+            ProtocolEvent::MemFree { .. } => "mem_free",
+        }
+    }
+
+    /// Append this event's payload fields (everything except name, time and
+    /// actor) to an open JSON map.
+    pub fn payload_fields(&self, map: &mut JsonMap<'_>) {
+        match self {
+            ProtocolEvent::StateSend { to, kind, bytes } => {
+                map.field("to", &to.map(|p| p.index() as u64))
+                    .field("kind", *kind)
+                    .field("bytes", bytes);
+            }
+            ProtocolEvent::StateRecv { from, kind, bytes } => {
+                map.field("from", &(from.index() as u64))
+                    .field("kind", *kind)
+                    .field("bytes", bytes);
+            }
+            ProtocolEvent::SnapshotStart { req } | ProtocolEvent::SnapshotEnd { req } => {
+                map.field("req", req);
+            }
+            ProtocolEvent::ElectionWon { req } => {
+                map.field("req", req);
+            }
+            ProtocolEvent::ElectionLost { req, winner } => {
+                map.field("req", req)
+                    .field("winner", &(winner.index() as u64));
+            }
+            ProtocolEvent::DelayedAnswer { to, req } => {
+                map.field("to", &(to.index() as u64)).field("req", req);
+            }
+            ProtocolEvent::DecisionOpen { node } => {
+                map.field("node", node);
+            }
+            ProtocolEvent::DecisionComplete { node, slaves } => {
+                map.field("node", node).field("slaves", slaves);
+            }
+            ProtocolEvent::Blocked | ProtocolEvent::Resumed => {}
+            ProtocolEvent::TaskStart { node, kind } => {
+                map.field("node", node).field("kind", *kind);
+            }
+            ProtocolEvent::TaskEnd { node } => {
+                map.field("node", node);
+            }
+            ProtocolEvent::MemAlloc { entries } | ProtocolEvent::MemFree { entries } => {
+                map.field("entries", entries);
+            }
+        }
+    }
+}
+
+/// A [`ProtocolEvent`] stamped with simulation time and emitting process.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventRecord {
+    /// When the event happened.
+    pub time: SimTime,
+    /// The process it happened on.
+    pub actor: ActorId,
+    /// What happened.
+    pub event: ProtocolEvent,
+}
+
+impl Serialize for EventRecord {
+    fn serialize_json(&self, out: &mut String) {
+        let mut map = JsonMap::new(out);
+        map.field("t", &self.time.as_nanos())
+            .field("p", &(self.actor.index() as u64))
+            .field("ev", self.event.name());
+        self.event.payload_fields(&mut map);
+        map.end();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct() {
+        let evs = [
+            ProtocolEvent::StateSend {
+                to: None,
+                kind: "update",
+                bytes: 1,
+            },
+            ProtocolEvent::StateRecv {
+                from: ActorId(0),
+                kind: "update",
+                bytes: 1,
+            },
+            ProtocolEvent::SnapshotStart { req: 1 },
+            ProtocolEvent::SnapshotEnd { req: 1 },
+            ProtocolEvent::ElectionWon { req: 1 },
+            ProtocolEvent::ElectionLost {
+                req: 1,
+                winner: ActorId(0),
+            },
+            ProtocolEvent::DelayedAnswer {
+                to: ActorId(0),
+                req: 1,
+            },
+            ProtocolEvent::DecisionOpen { node: 0 },
+            ProtocolEvent::DecisionComplete { node: 0, slaves: 0 },
+            ProtocolEvent::Blocked,
+            ProtocolEvent::Resumed,
+            ProtocolEvent::TaskStart {
+                node: 0,
+                kind: "master",
+            },
+            ProtocolEvent::TaskEnd { node: 0 },
+            ProtocolEvent::MemAlloc { entries: 1.0 },
+            ProtocolEvent::MemFree { entries: 1.0 },
+        ];
+        let mut names: Vec<_> = evs.iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), evs.len());
+    }
+
+    #[test]
+    fn record_serializes_to_flat_json() {
+        let rec = EventRecord {
+            time: SimTime(1500),
+            actor: ActorId(2),
+            event: ProtocolEvent::StateSend {
+                to: Some(ActorId(1)),
+                kind: "update_delta",
+                bytes: 32,
+            },
+        };
+        assert_eq!(
+            rec.to_json(),
+            r#"{"t":1500,"p":2,"ev":"state_send","to":1,"kind":"update_delta","bytes":32}"#
+        );
+    }
+
+    #[test]
+    fn broadcast_send_serializes_null_dest() {
+        let rec = EventRecord {
+            time: SimTime(0),
+            actor: ActorId(0),
+            event: ProtocolEvent::StateSend {
+                to: None,
+                kind: "end_snp",
+                bytes: 16,
+            },
+        };
+        assert!(rec.to_json().contains(r#""to":null"#));
+    }
+}

@@ -1,0 +1,59 @@
+//! JSONL export: one event per line, in emission order.
+//!
+//! The format is deliberately flat and stable (`{"t":..,"p":..,"ev":..,
+//! ...payload}`) so runs can be diffed, grepped, and replayed. A
+//! deterministic simulation produces byte-identical JSONL for the same seed
+//! (covered by a golden test in `loadex-bench`).
+
+use crate::event::EventRecord;
+use serde::Serialize;
+use std::io::{self, Write};
+
+/// Render events as a JSONL string (each line one JSON object, `\n`
+/// terminated).
+pub fn to_string(events: &[EventRecord]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        ev.serialize_json(&mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Write events as JSONL to `w`.
+pub fn write_to(events: &[EventRecord], w: &mut impl Write) -> io::Result<()> {
+    w.write_all(to_string(events).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ProtocolEvent;
+    use loadex_sim::{ActorId, SimTime};
+
+    #[test]
+    fn one_object_per_line() {
+        let events = vec![
+            EventRecord {
+                time: SimTime(1),
+                actor: ActorId(0),
+                event: ProtocolEvent::Blocked,
+            },
+            EventRecord {
+                time: SimTime(2),
+                actor: ActorId(1),
+                event: ProtocolEvent::Resumed,
+            },
+        ];
+        let s = to_string(&events);
+        assert_eq!(
+            s,
+            "{\"t\":1,\"p\":0,\"ev\":\"blocked\"}\n{\"t\":2,\"p\":1,\"ev\":\"resumed\"}\n"
+        );
+    }
+
+    #[test]
+    fn empty_log_is_empty_string() {
+        assert_eq!(to_string(&[]), "");
+    }
+}

@@ -1,0 +1,34 @@
+//! # loadex-obs — observability for the load-exchange protocols
+//!
+//! The paper's argument is entirely *observational*: message counts
+//! (Table 6), blocking time under concurrent snapshots (§4.5), and the
+//! coherence of each process's load view. This crate is the one place all
+//! of that is captured:
+//!
+//! * [`ProtocolEvent`] — a typed event taxonomy replacing stringly-typed
+//!   trace records, emitted by the mechanisms (`loadex-core`), both
+//!   transports (`loadex-net`), and the solver engine (`loadex-solver`).
+//! * [`Recorder`] — a cloneable event sink. Disabled recorders are a single
+//!   pointer-is-none check per emission site, so instrumented hot paths cost
+//!   nothing in the default configuration.
+//! * [`MetricsRegistry`] — named counters, gauges, and log-scale-bucket
+//!   [`Histogram`]s; snapshotted into a serializable [`MetricsSnapshot`].
+//! * Exporters — [`jsonl::export`] (one JSON object per event line) and
+//!   [`chrome::export`] (Chrome `trace_event` format: open the file in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>).
+//! * [`span`] — per-process Busy/Blocked/Idle spans reconstructed from the
+//!   event stream, plus the ASCII Gantt renderer used by `examples/gantt.rs`.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod event;
+pub mod jsonl;
+pub mod metrics;
+pub mod recorder;
+pub mod span;
+
+pub use event::{EventRecord, ProtocolEvent};
+pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use recorder::Recorder;
+pub use span::{Span, SpanState};

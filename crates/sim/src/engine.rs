@@ -68,7 +68,13 @@ pub trait World {
     type Event;
 
     /// Handle one event addressed to `actor` at time `now`.
-    fn handle(&mut self, now: SimTime, actor: ActorId, event: Self::Event, sched: &mut Scheduler<'_, Self::Event>);
+    fn handle(
+        &mut self,
+        now: SimTime,
+        actor: ActorId,
+        event: Self::Event,
+        sched: &mut Scheduler<'_, Self::Event>,
+    );
 
     /// Called once when the calendar drains or the horizon/stop is reached.
     fn on_finish(&mut self, _now: SimTime) {}
@@ -223,7 +229,13 @@ mod tests {
 
     impl World for Relay {
         type Event = u32;
-        fn handle(&mut self, now: SimTime, actor: ActorId, ev: u32, sched: &mut Scheduler<'_, u32>) {
+        fn handle(
+            &mut self,
+            now: SimTime,
+            actor: ActorId,
+            ev: u32,
+            sched: &mut Scheduler<'_, u32>,
+        ) {
             self.log.push((now.as_nanos(), actor.index(), ev));
             if ev > 0 {
                 let next = ActorId((actor.index() + 1) % self.nprocs);
@@ -235,7 +247,10 @@ mod tests {
     #[test]
     fn relay_chain_runs_to_completion() {
         let mut sim = Simulator::new(SimConfig::default());
-        let mut w = Relay { log: vec![], nprocs: 3 };
+        let mut w = Relay {
+            log: vec![],
+            nprocs: 3,
+        };
         sim.schedule_at(SimTime::ZERO, ActorId(0), 5);
         let reason = sim.run(&mut w);
         assert_eq!(reason, StopReason::Drained);
@@ -259,7 +274,10 @@ mod tests {
             horizon: SimTime(25),
             ..Default::default()
         });
-        let mut w = Relay { log: vec![], nprocs: 2 };
+        let mut w = Relay {
+            log: vec![],
+            nprocs: 2,
+        };
         sim.schedule_at(SimTime::ZERO, ActorId(0), 100);
         let reason = sim.run(&mut w);
         assert_eq!(reason, StopReason::Horizon);

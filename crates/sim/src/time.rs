@@ -75,7 +75,7 @@ impl SimDuration {
     /// saturating at the representable range). Negative input clamps to zero.
     #[inline]
     pub fn from_secs_f64(s: f64) -> SimDuration {
-        if !(s > 0.0) {
+        if s.is_nan() || s <= 0.0 {
             return SimDuration::ZERO;
         }
         let ns = s * 1e9;

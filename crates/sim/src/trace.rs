@@ -3,6 +3,12 @@
 //! A [`Trace`] is a bounded ring buffer of timestamped records. It is cheap
 //! enough to keep enabled in tests; experiment runs disable it by using
 //! [`Trace::disabled`].
+//!
+//! The free-form string records here predate the typed observability layer;
+//! for protocol-level analysis prefer `loadex-obs` (`ProtocolEvent` +
+//! `Recorder`), which is structured, serializable, and exportable to JSONL
+//! and Chrome traces. [`Trace::record`] is kept (deprecated) for ad-hoc
+//! debugging of the simulator itself.
 
 use crate::engine::ActorId;
 use crate::time::SimTime;
@@ -32,7 +38,12 @@ pub struct Trace {
 
 impl Trace {
     /// A trace keeping at most `capacity` records (oldest dropped first).
+    /// A `capacity` of 0 yields a disabled trace — previously it produced an
+    /// enabled trace whose ring buffer grew without bound.
     pub fn with_capacity(capacity: usize) -> Self {
+        if capacity == 0 {
+            return Self::disabled();
+        }
         Trace {
             records: VecDeque::new(),
             capacity,
@@ -57,7 +68,18 @@ impl Trace {
     }
 
     /// Append a record (no-op when disabled).
-    pub fn record(&mut self, time: SimTime, actor: ActorId, tag: &'static str, detail: impl Into<String>) {
+    #[deprecated(
+        since = "0.1.0",
+        note = "stringly-typed details are superseded by the typed \
+                `loadex-obs` event layer (`ProtocolEvent` + `Recorder`)"
+    )]
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        actor: ActorId,
+        tag: &'static str,
+        detail: impl Into<String>,
+    ) {
         if !self.enabled {
             return;
         }
@@ -78,6 +100,21 @@ impl Trace {
         self.records.iter()
     }
 
+    /// Number of records currently retained.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no record is retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Discard all retained records (the drop counter is kept).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
     /// Number of records dropped due to capacity.
     pub fn dropped(&self) -> u64 {
         self.dropped
@@ -92,15 +129,39 @@ impl Trace {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for r in &self.records {
-            out.push_str(&format!("{} {} [{}] {}\n", r.time, r.actor, r.tag, r.detail));
+            out.push_str(&format!(
+                "{} {} [{}] {}\n",
+                r.time, r.actor, r.tag, r.detail
+            ));
         }
         out
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn zero_capacity_is_disabled() {
+        let mut t = Trace::with_capacity(0);
+        assert!(!t.is_enabled());
+        t.record(SimTime(1), ActorId(0), "a", "x");
+        assert!(t.is_empty(), "capacity 0 must retain nothing");
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut t = Trace::with_capacity(4);
+        t.record(SimTime(1), ActorId(0), "a", "x");
+        t.record(SimTime(2), ActorId(0), "b", "y");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        t.clear();
+        assert!(t.is_empty());
+        assert!(t.is_enabled(), "clear does not disable");
+    }
 
     #[test]
     fn records_kept_in_order() {

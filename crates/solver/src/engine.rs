@@ -31,6 +31,7 @@ use loadex_core::{
     StateMsg, Threshold,
 };
 use loadex_net::{Channel, SimNetwork};
+use loadex_obs::{MetricsRegistry, ProtocolEvent, Recorder};
 use loadex_sim::{
     ActorId, Scheduler, SimDuration, SimTime, StatSet, TimeWeightedGauge, Welford, World,
 };
@@ -105,6 +106,20 @@ enum TaskKind {
     RootPart,
 }
 
+impl TaskKind {
+    /// Stable name used as the `kind` of task events.
+    fn name(self) -> &'static str {
+        match self {
+            TaskKind::Subtree => "subtree",
+            TaskKind::Type1 => "type1",
+            TaskKind::Type2Master => "type2_master",
+            TaskKind::Type2Slave { .. } => "type2_slave",
+            TaskKind::Type2Whole => "type2_whole",
+            TaskKind::RootPart => "root_part",
+        }
+    }
+}
+
 #[derive(Clone, Copy, Debug)]
 struct Task {
     kind: TaskKind,
@@ -119,9 +134,15 @@ struct Task {
 #[derive(Clone, Copy, Debug)]
 enum PState {
     Idle,
-    Computing { end: SimTime, task: Task },
+    Computing {
+        end: SimTime,
+        task: Task,
+    },
     /// Threaded mode: compute suspended by a snapshot.
-    Paused { task: Task, remaining: SimDuration },
+    Paused {
+        task: Task,
+        remaining: SimDuration,
+    },
     /// Blocked in the snapshot receive loop.
     WaitSnapshot,
 }
@@ -147,6 +168,9 @@ struct ProcRt {
     masters_left: u32,
     poll_scheduled: bool,
     timeline: Timeline,
+    /// When this process's in-flight snapshot started waiting (drives the
+    /// `snapshot_duration_ns` histogram).
+    snp_opened_at: Option<SimTime>,
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -195,6 +219,9 @@ pub struct SolverWorld {
     coh_time_mem: Welford,
     coh_dec_work: Welford,
     coh_dec_mem: Welford,
+    // Observability (see [`SolverWorld::set_recorder`]).
+    recorder: Recorder,
+    metrics: MetricsRegistry,
 }
 
 impl SolverWorld {
@@ -256,8 +283,12 @@ impl SolverWorld {
                         AnyMechanism::Periodic(m)
                     }
                     MechKind::Gossip => {
-                        let mut m =
-                            GossipMechanism::new(me, nprocs, cfg.gossip_interval, cfg.gossip_fanout);
+                        let mut m = GossipMechanism::new(
+                            me,
+                            nprocs,
+                            cfg.gossip_interval,
+                            cfg.gossip_fanout,
+                        );
                         m.initialize(Load::work(plan.init_work[p]));
                         for q in 0..nprocs {
                             if q != p {
@@ -287,6 +318,7 @@ impl SolverWorld {
                     masters_left: plan.masters_per_proc[p],
                     poll_scheduled: false,
                     timeline: Vec::new(),
+                    snp_opened_at: None,
                 }
             })
             .collect();
@@ -326,6 +358,8 @@ impl SolverWorld {
             coh_time_mem: Welford::default(),
             coh_dec_work: Welford::default(),
             coh_dec_mem: Welford::default(),
+            recorder: Recorder::disabled(),
+            metrics: MetricsRegistry::new(),
         };
         for i in 0..world.tree.len() {
             match world.plan.ntype[i] {
@@ -347,12 +381,32 @@ impl SolverWorld {
         }
         // Masters that will never take a decision announce NoMoreMaster at
         // kick time; handled in `kick`.
-        world.procs = procs.drain(..).collect();
+        world.procs = std::mem::take(&mut procs);
         world.committed_work = world.plan.init_work.clone();
         world
     }
 
+    /// Attach an event recorder. When it is enabled, every mechanism outbox
+    /// starts staging [`ProtocolEvent`]s (stamped `(time, rank)` here as they
+    /// are flushed), the engine emits its own decision/task/memory/blocking
+    /// events, and the latency / snapshot-duration / view-staleness
+    /// histograms are populated. A disabled recorder keeps all of this at a
+    /// single boolean check per site.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        let on = recorder.is_enabled();
+        for proc in &mut self.procs {
+            proc.outbox.set_observe(on);
+        }
+        self.recorder = recorder;
+    }
+
     // ----- helpers -------------------------------------------------------
+
+    /// Whether observability sinks are live.
+    #[inline]
+    fn obs(&self) -> bool {
+        self.recorder.is_enabled()
+    }
 
     fn ef(&self) -> f64 {
         self.entry_factor
@@ -419,6 +473,13 @@ impl SolverWorld {
         proc.true_mem = (proc.true_mem + delta).max(0.0);
         let v = proc.true_mem;
         proc.mem_gauge.set(now, v);
+        self.recorder.emit_with(now, ActorId(p), || {
+            if delta >= 0.0 {
+                ProtocolEvent::MemAlloc { entries: delta }
+            } else {
+                ProtocolEvent::MemFree { entries: -delta }
+            }
+        });
     }
 
     /// Ground-truth memory of each process (for coherence checks in tests).
@@ -462,26 +523,64 @@ impl SolverWorld {
         }
     }
 
-    fn local_change(&mut self, p: usize, now: SimTime, delta: Load, origin: ChangeOrigin, sched: &mut Scheduler<'_, Ev>) {
+    fn local_change(
+        &mut self,
+        p: usize,
+        now: SimTime,
+        delta: Load,
+        origin: ChangeOrigin,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
         let proc = &mut self.procs[p];
         proc.mech.on_local_change(delta, origin, &mut proc.outbox);
         self.flush_outbox(p, now, sched);
     }
 
     fn flush_outbox(&mut self, p: usize, now: SimTime, sched: &mut Scheduler<'_, Ev>) {
+        let obs = self.obs();
+        if obs {
+            // Stamp the mechanism's staged protocol events with (time, rank).
+            let events: Vec<ProtocolEvent> = self.procs[p].outbox.drain_events().collect();
+            for ev in events {
+                self.recorder.emit(now, ActorId(p), ev);
+            }
+        }
         let staged: Vec<OutMsg> = self.procs[p].outbox.drain().collect();
         for OutMsg { dest, msg } in staged {
             let size = msg.wire_size();
             match dest {
                 loadex_core::Dest::One(to) => {
-                    let d = self.net.send(now, ActorId(p), to, Channel::State, size, msg);
+                    let d = self
+                        .net
+                        .send(now, ActorId(p), to, Channel::State, size, msg);
+                    if obs {
+                        self.metrics
+                            .observe("state_msg_latency_ns", d.at.since(now).as_nanos() as f64);
+                    }
                     sched.schedule_at(d.at, to, Ev::State(ActorId(p), d.envelope.msg));
                 }
                 loadex_core::Dest::AllOthers => {
                     for q in 0..self.cfg.nprocs {
                         if q != p {
-                            let d = self.net.send(now, ActorId(p), ActorId(q), Channel::State, size, msg.clone());
-                            sched.schedule_at(d.at, ActorId(q), Ev::State(ActorId(p), d.envelope.msg));
+                            let d = self.net.send(
+                                now,
+                                ActorId(p),
+                                ActorId(q),
+                                Channel::State,
+                                size,
+                                msg.clone(),
+                            );
+                            if obs {
+                                self.metrics.observe(
+                                    "state_msg_latency_ns",
+                                    d.at.since(now).as_nanos() as f64,
+                                );
+                            }
+                            sched.schedule_at(
+                                d.at,
+                                ActorId(q),
+                                Ev::State(ActorId(p), d.envelope.msg),
+                            );
                         }
                     }
                 }
@@ -489,7 +588,15 @@ impl SolverWorld {
         }
     }
 
-    fn send_app(&mut self, now: SimTime, from: usize, to: u32, msg: AppMsg, bytes: u64, sched: &mut Scheduler<'_, Ev>) {
+    fn send_app(
+        &mut self,
+        now: SimTime,
+        from: usize,
+        to: u32,
+        msg: AppMsg,
+        bytes: u64,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
         self.app_msgs += 1;
         if to as usize == from {
             // Local handoff: process at the same instant through the mailbox
@@ -497,8 +604,19 @@ impl SolverWorld {
             sched.schedule_at(now, ActorId(from), Ev::App(ActorId(from), msg));
             return;
         }
-        let d = self.net.send(now, ActorId(from), ActorId(to as usize), Channel::Regular, bytes, msg);
-        sched.schedule_at(d.at, ActorId(to as usize), Ev::App(ActorId(from), d.envelope.msg));
+        let d = self.net.send(
+            now,
+            ActorId(from),
+            ActorId(to as usize),
+            Channel::Regular,
+            bytes,
+            msg,
+        );
+        sched.schedule_at(
+            d.at,
+            ActorId(to as usize),
+            Ev::App(ActorId(from), d.envelope.msg),
+        );
     }
 
     fn threaded(&self) -> Option<SimDuration> {
@@ -547,14 +665,23 @@ impl SolverWorld {
     }
 
     fn note_block_state(&mut self, p: usize, now: SimTime) {
-        let blocked = matches!(self.procs[p].state, PState::WaitSnapshot | PState::Paused { .. });
+        let blocked = matches!(
+            self.procs[p].state,
+            PState::WaitSnapshot | PState::Paused { .. }
+        );
         {
             let proc = &mut self.procs[p];
             match (blocked, proc.blocked_since) {
-                (true, None) => proc.blocked_since = Some(now),
+                (true, None) => {
+                    proc.blocked_since = Some(now);
+                    self.recorder
+                        .emit_with(now, ActorId(p), || ProtocolEvent::Blocked);
+                }
                 (false, Some(t0)) => {
                     proc.blocked_total += now.since(t0);
                     proc.blocked_since = None;
+                    self.recorder
+                        .emit_with(now, ActorId(p), || ProtocolEvent::Resumed);
                 }
                 _ => {}
             }
@@ -568,7 +695,15 @@ impl SolverWorld {
 
     // ----- state-message processing --------------------------------------
 
-    fn process_state_msg(&mut self, p: usize, now: SimTime, from: ActorId, msg: StateMsg, charge: bool, sched: &mut Scheduler<'_, Ev>) {
+    fn process_state_msg(
+        &mut self,
+        p: usize,
+        now: SimTime,
+        from: ActorId,
+        msg: StateMsg,
+        charge: bool,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
         let notifies = {
             let proc = &mut self.procs[p];
             proc.mech.on_state_msg(from, msg, &mut proc.outbox)
@@ -580,7 +715,13 @@ impl SolverWorld {
         self.handle_notifies(p, now, notifies, sched);
     }
 
-    fn handle_notifies(&mut self, p: usize, now: SimTime, notifies: Vec<Notify>, sched: &mut Scheduler<'_, Ev>) {
+    fn handle_notifies(
+        &mut self,
+        p: usize,
+        now: SimTime,
+        notifies: Vec<Notify>,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
         for n in notifies {
             match n {
                 Notify::DecisionReady => {
@@ -603,14 +744,12 @@ impl SolverWorld {
         let blocked = self.procs[p].mech.blocked();
         let state = self.procs[p].state;
         match (blocked, state) {
-            (true, PState::Computing { end, task }) => {
-                // Only the threaded variant can interrupt a computation.
-                if self.threaded().is_some() {
-                    let remaining = end.since(now);
-                    self.procs[p].gen += 1; // invalidate pending TaskDone
-                    self.procs[p].state = PState::Paused { task, remaining };
-                    self.note_block_state(p, now);
-                }
+            // Only the threaded variant can interrupt a computation.
+            (true, PState::Computing { end, task }) if self.threaded().is_some() => {
+                let remaining = end.since(now);
+                self.procs[p].gen += 1; // invalidate pending TaskDone
+                self.procs[p].state = PState::Paused { task, remaining };
+                self.note_block_state(p, now);
             }
             (true, PState::Idle) => {
                 self.procs[p].state = PState::WaitSnapshot;
@@ -635,37 +774,53 @@ impl SolverWorld {
 
     // ----- decisions ------------------------------------------------------
 
-    fn try_start_decision(&mut self, p: usize, now: SimTime, sched: &mut Scheduler<'_, Ev>) -> bool {
+    fn try_start_decision(
+        &mut self,
+        p: usize,
+        now: SimTime,
+        sched: &mut Scheduler<'_, Ev>,
+    ) -> bool {
         if self.procs[p].decision_inflight.is_some() || self.procs[p].mech.blocked() {
             return false;
         }
         let Some(node) = self.procs[p].pending_decisions.pop_front() else {
             return false;
         };
+        self.recorder
+            .emit_with(now, ActorId(p), || ProtocolEvent::DecisionOpen {
+                node: node as u64,
+            });
         // §5 extension: partial snapshots query only the k least-loaded
         // candidates (by the master's current view and strategy metric).
-        let candidates: Option<Vec<ActorId>> = match (self.cfg.snapshot_candidates, &self.procs[p].mech) {
-            (Some(k), AnyMechanism::Snapshot(_)) if k < self.cfg.nprocs - 1 => {
-                let view = self.procs[p].mech.view();
-                let mut others: Vec<(ActorId, f64)> = view
-                    .others()
-                    .map(|(q, l)| {
-                        let metric = match self.cfg.strategy {
-                            crate::config::Strategy::MemoryBased => l.mem,
-                            crate::config::Strategy::WorkloadBased => l.work,
-                        };
-                        (q, metric)
-                    })
-                    .collect();
-                others.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.index().cmp(&b.0.index())));
-                Some(others.into_iter().take(k.max(1)).map(|(q, _)| q).collect())
-            }
-            _ => None,
-        };
+        let candidates: Option<Vec<ActorId>> =
+            match (self.cfg.snapshot_candidates, &self.procs[p].mech) {
+                (Some(k), AnyMechanism::Snapshot(_)) if k < self.cfg.nprocs - 1 => {
+                    let view = self.procs[p].mech.view();
+                    let mut others: Vec<(ActorId, f64)> = view
+                        .others()
+                        .map(|(q, l)| {
+                            let metric = match self.cfg.strategy {
+                                crate::config::Strategy::MemoryBased => l.mem,
+                                crate::config::Strategy::WorkloadBased => l.work,
+                            };
+                            (q, metric)
+                        })
+                        .collect();
+                    others.sort_by(|a, b| {
+                        a.1.partial_cmp(&b.1)
+                            .unwrap()
+                            .then(a.0.index().cmp(&b.0.index()))
+                    });
+                    Some(others.into_iter().take(k.max(1)).map(|(q, _)| q).collect())
+                }
+                _ => None,
+            };
         let gate = {
             let proc = &mut self.procs[p];
             match (&candidates, &mut proc.mech) {
-                (Some(c), AnyMechanism::Snapshot(m)) => m.request_decision_among(c, &mut proc.outbox),
+                (Some(c), AnyMechanism::Snapshot(m)) => {
+                    m.request_decision_among(c, &mut proc.outbox)
+                }
                 _ => proc.mech.request_decision(&mut proc.outbox),
             }
         };
@@ -677,6 +832,7 @@ impl SolverWorld {
             }
             Gate::Wait => {
                 self.procs[p].decision_inflight = Some(node);
+                self.procs[p].snp_opened_at = Some(now);
                 self.snp_begin(now);
                 self.reconcile_block(p, now, sched);
             }
@@ -693,6 +849,23 @@ impl SolverWorld {
         self.sample_view_error(p, &mut dw, &mut dm);
         self.coh_dec_work = dw;
         self.coh_dec_mem = dm;
+        if self.obs() {
+            // Same samples, but into log-scale histograms: the distribution
+            // tail matters more than the mean for scheduling quality.
+            for q in 0..self.cfg.nprocs {
+                if q == p {
+                    continue;
+                }
+                let truth = self.true_load(q);
+                let seen = self.procs[p].mech.view().get(ActorId(q));
+                self.metrics.observe(
+                    "view_staleness_decision_work",
+                    (seen.work - truth.work).abs(),
+                );
+                self.metrics
+                    .observe("view_staleness_decision_mem", (seen.mem - truth.mem).abs());
+            }
+        }
 
         let m = self.node_m(node);
         let ncb = self.node_ncb(node);
@@ -702,7 +875,14 @@ impl SolverWorld {
         let shares = {
             let allowed = self.procs[p].decision_candidates.take();
             let view = self.procs[p].mech.view();
-            sched::select_slaves_among(&self.cfg, view, ncb, mem_per_row, work_per_row, allowed.as_deref())
+            sched::select_slaves_among(
+                &self.cfg,
+                view,
+                ncb,
+                mem_per_row,
+                work_per_row,
+                allowed.as_deref(),
+            )
         };
         let assignments: Vec<(ActorId, Load)> = shares
             .iter()
@@ -720,9 +900,20 @@ impl SolverWorld {
             let proc = &mut self.procs[p];
             proc.mech.complete_decision(&assignments, &mut proc.outbox)
         };
+        self.recorder
+            .emit_with(now, ActorId(p), || ProtocolEvent::DecisionComplete {
+                node: node as u64,
+                slaves: shares.len() as u32,
+            });
         self.flush_outbox(p, now, sched);
         if was_snapshot {
             self.snp_end(now);
+        }
+        if let Some(t0) = self.procs[p].snp_opened_at.take() {
+            if self.obs() {
+                self.metrics
+                    .observe("snapshot_duration_ns", now.since(t0).as_nanos() as f64);
+            }
         }
 
         let parent_owner = self.tree.nodes[node as usize]
@@ -757,7 +948,14 @@ impl SolverWorld {
             }
             for s in &shares {
                 let bytes = (s.rows as f64 * m * ef * 8.0) as u64;
-                self.send_app(now, p, s.slave.index() as u32, AppMsg::SlaveTask { node, rows: s.rows }, bytes, sched);
+                self.send_app(
+                    now,
+                    p,
+                    s.slave.index() as u32,
+                    AppMsg::SlaveTask { node, rows: s.rows },
+                    bytes,
+                    sched,
+                );
             }
             let t = self.task(TaskKind::Type2Master, node, mflops);
             self.procs[p].ready.push_back(t);
@@ -772,15 +970,31 @@ impl SolverWorld {
         self.handle_notifies(p, now, notifies, sched);
     }
 
-    fn announce_plan(&mut self, p: usize, now: SimTime, node: u32, pieces: u32, sched: &mut Scheduler<'_, Ev>) {
-        let parent = self.tree.nodes[node as usize].parent.expect("caller checked");
+    fn announce_plan(
+        &mut self,
+        p: usize,
+        now: SimTime,
+        node: u32,
+        pieces: u32,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
+        let parent = self.tree.nodes[node as usize]
+            .parent
+            .expect("caller checked");
         let owner = self.plan.owner[parent as usize];
         self.send_app(now, p, owner, AppMsg::CbPlan { node, pieces }, 24, sched);
     }
 
     // ----- application messages ------------------------------------------
 
-    fn handle_app(&mut self, p: usize, now: SimTime, _from: ActorId, msg: AppMsg, sched: &mut Scheduler<'_, Ev>) {
+    fn handle_app(
+        &mut self,
+        p: usize,
+        now: SimTime,
+        _from: ActorId,
+        msg: AppMsg,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
         self.procs[p].overhead += self.cfg.app_msg_cost;
         match msg {
             AppMsg::SlaveTask { node, rows } => {
@@ -788,7 +1002,13 @@ impl SolverWorld {
                 let alloc = rows as f64 * m * self.ef();
                 let flops = self.slave_flops_per_row(node) * rows as f64;
                 self.set_mem(p, now, alloc);
-                self.local_change(p, now, Load::new(flops, alloc), ChangeOrigin::SlaveTask, sched);
+                self.local_change(
+                    p,
+                    now,
+                    Load::new(flops, alloc),
+                    ChangeOrigin::SlaveTask,
+                    sched,
+                );
                 let t = self.task(TaskKind::Type2Slave { rows }, node, flops);
                 self.procs[p].ready.push_back(t);
             }
@@ -805,7 +1025,13 @@ impl SolverWorld {
                 let share_flops = self.tree.flops(node as usize) / self.cfg.nprocs as f64;
                 self.set_mem(p, now, share_mem);
                 self.committed_work[p] += share_flops;
-                self.local_change(p, now, Load::new(share_flops, share_mem), ChangeOrigin::Local, sched);
+                self.local_change(
+                    p,
+                    now,
+                    Load::new(share_flops, share_mem),
+                    ChangeOrigin::Local,
+                    sched,
+                );
                 let t = self.task(TaskKind::RootPart, node, share_flops);
                 self.procs[p].ready.push_back(t);
             }
@@ -813,14 +1039,22 @@ impl SolverWorld {
     }
 
     /// At the owner of `child`'s parent: did `child` finish delivering?
-    fn check_child_delivery(&mut self, p: usize, now: SimTime, child: u32, sched: &mut Scheduler<'_, Ev>) {
+    fn check_child_delivery(
+        &mut self,
+        p: usize,
+        now: SimTime,
+        child: u32,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
         let st = &self.nodes[child as usize];
         let Some(plan) = st.plan_pieces else { return };
         if st.counted_done || st.pieces_recv < plan {
             return;
         }
         self.nodes[child as usize].counted_done = true;
-        let parent = self.tree.nodes[child as usize].parent.expect("delivery to a root");
+        let parent = self.tree.nodes[child as usize]
+            .parent
+            .expect("delivery to a root");
         self.nodes[parent as usize].children_done += 1;
         self.try_activate(p, now, parent, sched);
     }
@@ -853,12 +1087,25 @@ impl SolverWorld {
                 let share_bytes = (share_mem * 8.0) as u64;
                 for q in 0..self.cfg.nprocs {
                     if q != p {
-                        self.send_app(now, p, q as u32, AppMsg::RootPart { node: v }, share_bytes, sched);
+                        self.send_app(
+                            now,
+                            p,
+                            q as u32,
+                            AppMsg::RootPart { node: v },
+                            share_bytes,
+                            sched,
+                        );
                     }
                 }
                 self.set_mem(p, now, share_mem);
                 self.committed_work[p] += share_flops;
-                self.local_change(p, now, Load::new(share_flops, share_mem), ChangeOrigin::Local, sched);
+                self.local_change(
+                    p,
+                    now,
+                    Load::new(share_flops, share_mem),
+                    ChangeOrigin::Local,
+                    sched,
+                );
                 let t = self.task(TaskKind::RootPart, v, share_flops);
                 self.procs[p].ready.push_back(t);
             }
@@ -909,6 +1156,11 @@ impl SolverWorld {
         self.procs[p].state = PState::Computing { end, task };
         self.procs[p].busy += dur;
         self.note_activity(p, now, Activity::Busy);
+        self.recorder
+            .emit_with(now, ActorId(p), || ProtocolEvent::TaskStart {
+                node: task.node as u64,
+                kind: task.kind.name(),
+            });
         sched.schedule_at(end, ActorId(p), Ev::TaskDone(gen));
     }
 
@@ -943,7 +1195,13 @@ impl SolverWorld {
                 let piece = rows as f64 * self.node_ncb(node) as f64 * ef;
                 let cb = self.retained_cb(p, node, piece, sched);
                 self.set_mem(p, now, cb - alloc);
-                self.local_change(p, now, Load::mem(cb - alloc), ChangeOrigin::SlaveTask, sched);
+                self.local_change(
+                    p,
+                    now,
+                    Load::mem(cb - alloc),
+                    ChangeOrigin::SlaveTask,
+                    sched,
+                );
                 self.notify_cb_ready(p, now, node, sched);
             }
             TaskKind::Type2Whole => {
@@ -975,7 +1233,13 @@ impl SolverWorld {
 
     /// Record a CB piece on `p`'s stack (returns the retained entry count,
     /// zero for roots whose CB nobody consumes).
-    fn retained_cb(&mut self, p: usize, node: u32, entries: f64, _sched: &mut Scheduler<'_, Ev>) -> f64 {
+    fn retained_cb(
+        &mut self,
+        p: usize,
+        node: u32,
+        entries: f64,
+        _sched: &mut Scheduler<'_, Ev>,
+    ) -> f64 {
         if self.tree.nodes[node as usize].parent.is_none() || entries <= 0.0 {
             return 0.0;
         }
@@ -984,7 +1248,13 @@ impl SolverWorld {
     }
 
     /// Tell the parent's owner a piece is ready (small control message).
-    fn notify_cb_ready(&mut self, p: usize, now: SimTime, node: u32, sched: &mut Scheduler<'_, Ev>) {
+    fn notify_cb_ready(
+        &mut self,
+        p: usize,
+        now: SimTime,
+        node: u32,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
         let Some(parent) = self.tree.nodes[node as usize].parent else {
             return; // a root: nothing to contribute
         };
@@ -1001,7 +1271,13 @@ impl SolverWorld {
             let pieces = std::mem::take(&mut self.cb_pieces[c as usize]);
             for (q, entries) in pieces {
                 self.set_mem(q as usize, now, -entries);
-                self.local_change(q as usize, now, Load::mem(-entries), ChangeOrigin::Local, sched);
+                self.local_change(
+                    q as usize,
+                    now,
+                    Load::mem(-entries),
+                    ChangeOrigin::Local,
+                    sched,
+                );
             }
         }
     }
@@ -1048,7 +1324,9 @@ impl SolverWorld {
             let ready: Vec<sched::ReadyTask> = self.procs[p]
                 .ready
                 .iter()
-                .map(|t| sched::ReadyTask { alloc: self.task_alloc_estimate(t) })
+                .map(|t| sched::ReadyTask {
+                    alloc: self.task_alloc_estimate(t),
+                })
                 .collect();
             let pick = {
                 let view = self.procs[p].mech.view();
@@ -1098,7 +1376,14 @@ impl SolverWorld {
         self.progress(p, now, sched);
     }
 
-    fn on_state_event(&mut self, p: usize, now: SimTime, from: ActorId, msg: StateMsg, sched: &mut Scheduler<'_, Ev>) {
+    fn on_state_event(
+        &mut self,
+        p: usize,
+        now: SimTime,
+        from: ActorId,
+        msg: StateMsg,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
         if let Some(period) = self.threaded() {
             self.procs[p].state_mb.push_back((from, msg));
             if !self.procs[p].poll_scheduled {
@@ -1170,6 +1455,10 @@ impl SolverWorld {
         };
         self.procs[p].state = PState::Idle;
         self.note_activity(p, now, Activity::Idle);
+        self.recorder
+            .emit_with(now, ActorId(p), || ProtocolEvent::TaskEnd {
+                node: task.node as u64,
+            });
         // The chunk's work is done: the load drops by that amount ("when a
         // significant amount of work has just been processed", §2.1).
         let seg = task.remaining.min(self.chunk_flops());
@@ -1267,8 +1556,70 @@ impl SolverWorld {
                 blocked: p.blocked_total,
             })
             .collect();
-        let snapshots_started: u64 = self.procs.iter().map(|p| p.mech.stats().snapshots_started).sum();
+        let snapshots_started: u64 = self
+            .procs
+            .iter()
+            .map(|p| p.mech.stats().snapshots_started)
+            .sum();
+        // One source of truth: the metrics snapshot carries everything the
+        // report's scalar fields summarize — the per-mechanism totals
+        // (MechStats), the network counters, and the run histograms.
+        let mut metrics = self.metrics.snapshot();
+        for (name, v) in counters.iter() {
+            metrics.counters.insert(name.to_string(), v);
+        }
+        let mut fold = |name: &str, v: u64| {
+            metrics.counters.insert(name.to_string(), v);
+        };
+        fold(
+            "state_msgs_sent",
+            procs.iter().map(|p| p.state_msgs_sent).sum(),
+        );
+        fold(
+            "state_bytes_sent",
+            procs.iter().map(|p| p.state_bytes_sent).sum(),
+        );
+        fold(
+            "state_msgs_received",
+            self.procs
+                .iter()
+                .map(|p| p.mech.stats().msgs_received)
+                .sum(),
+        );
+        fold("decisions", procs.iter().map(|p| p.decisions).sum());
+        fold("snapshots_started", snapshots_started);
+        fold(
+            "snapshot_rebroadcasts",
+            self.procs
+                .iter()
+                .map(|p| p.mech.stats().snapshot_rebroadcasts)
+                .sum(),
+        );
+        fold(
+            "delayed_answers",
+            self.procs
+                .iter()
+                .map(|p| p.mech.stats().delayed_answers)
+                .sum(),
+        );
+        fold("app_msgs", self.app_msgs);
+        fold("events_dropped", self.recorder.dropped());
+        metrics.gauges.insert(
+            "mem_peak_entries".to_string(),
+            procs.iter().map(|p| p.mem_peak_entries).fold(0.0, f64::max),
+        );
+        metrics.gauges.insert(
+            "factor_time_s".to_string(),
+            self.done_at.unwrap_or(self.finished_at).as_secs_f64(),
+        );
+        metrics
+            .gauges
+            .insert("snapshot_union_s".to_string(), self.snp_union.as_secs_f64());
+        metrics
+            .gauges
+            .insert("snapshot_max_concurrent".to_string(), self.snp_max as f64);
         RunReport {
+            metrics,
             timelines: self.procs.iter().map(|p| p.timeline.clone()).collect(),
             view_err_time_work: self.coh_time_work,
             view_err_time_mem: self.coh_time_mem,
@@ -1294,10 +1645,7 @@ impl SolverWorld {
 fn default_threshold(tree: &AssemblyTree) -> Threshold {
     let n = tree.len().max(1) as f64;
     let mean_flops = tree.total_flops() / n;
-    let mean_front = (0..tree.len())
-        .map(|i| tree.front_entries(i))
-        .sum::<f64>()
-        / n;
+    let mean_front = (0..tree.len()).map(|i| tree.front_entries(i)).sum::<f64>() / n;
     Threshold::new((mean_flops * 0.5).max(1.0), (mean_front * 0.5).max(1.0))
 }
 
@@ -1414,7 +1762,11 @@ mod tests {
         w.snp_begin(SimTime(2_000));
         assert_eq!(w.snp_max, 2);
         w.snp_end(SimTime(3_000));
-        assert_eq!(w.snp_union, SimDuration::ZERO, "union closes at zero active");
+        assert_eq!(
+            w.snp_union,
+            SimDuration::ZERO,
+            "union closes at zero active"
+        );
         w.snp_end(SimTime(5_000));
         assert_eq!(w.snp_union, SimDuration::from_nanos(4_000));
         // A second disjoint interval accumulates.
@@ -1433,7 +1785,10 @@ mod tests {
         w.note_activity(0, SimTime(2), Activity::Blocked);
         assert_eq!(
             w.procs[0].timeline,
-            vec![(SimTime(1), Activity::Busy), (SimTime(2), Activity::Blocked)],
+            vec![
+                (SimTime(1), Activity::Busy),
+                (SimTime(2), Activity::Blocked)
+            ],
             "same-instant transitions collapse, repeats dedup"
         );
     }

@@ -36,4 +36,4 @@ pub mod sched;
 pub use config::{CommMode, SolverConfig, Strategy};
 pub use mapping::{NodeType, TreePlan};
 pub use report::RunReport;
-pub use run::run_experiment;
+pub use run::{run_experiment, run_experiment_observed};

@@ -116,7 +116,13 @@ fn lpt(
         None => vec![0.0; nbins],
     };
     let mut order: Vec<usize> = (0..items.len()).collect();
-    order.sort_by(|&a, &b| items[b].1.partial_cmp(&items[a].1).unwrap().then(items[a].0.cmp(&items[b].0)));
+    order.sort_by(|&a, &b| {
+        items[b]
+            .1
+            .partial_cmp(&items[a].1)
+            .unwrap()
+            .then(items[a].0.cmp(&items[b].0))
+    });
     let mut assign = vec![0u32; items.len()];
     for idx in order {
         let bin = (0..nbins)
@@ -152,10 +158,11 @@ pub fn plan(tree: &AssemblyTree, nprocs: usize, params: MappingParams) -> TreePl
         let mut best: Option<(usize, f64)> = None;
         for (i, &v) in layer.iter().enumerate() {
             let f = sub_flops[v as usize];
-            if f > limit && !tree.nodes[v as usize].children.is_empty() {
-                if best.map_or(true, |(_, bf)| f > bf) {
-                    best = Some((i, f));
-                }
+            if f > limit
+                && !tree.nodes[v as usize].children.is_empty()
+                && best.is_none_or(|(_, bf)| f > bf)
+            {
+                best = Some((i, f));
             }
         }
         let Some((i, _)) = best else { break };
@@ -230,7 +237,12 @@ pub fn plan(tree: &AssemblyTree, nprocs: usize, params: MappingParams) -> TreePl
         }
     }
     let upper: Vec<(usize, f64)> = (0..n)
-        .filter(|&i| matches!(ntype[i], NodeType::Type1 | NodeType::Type2 | NodeType::Type3))
+        .filter(|&i| {
+            matches!(
+                ntype[i],
+                NodeType::Type1 | NodeType::Type2 | NodeType::Type3
+            )
+        })
         .map(|i| (i, tree.factor_entries(i)))
         .collect();
     let (upper_assign, _) = lpt(&upper, nprocs, Some(&factor_seed), &params.speed_factors);
@@ -293,7 +305,9 @@ impl TreePlan {
                     // A collapsed node's parent is either in the same subtree
                     // or the subtree root itself is the boundary.
                     if self.ntype[i] == NodeType::InSubtree {
-                        let p = tree.nodes[i].parent.expect("in-subtree node must have parent");
+                        let p = tree.nodes[i]
+                            .parent
+                            .expect("in-subtree node must have parent");
                         assert_eq!(self.collapsed_into[p as usize], Some(r));
                     }
                 }

@@ -1,6 +1,13 @@
 //! Run statistics: everything the paper's tables measure.
+//!
+//! [`RunReport`] (and its [`MetricsSnapshot`]) serialize to JSON through the
+//! vendored `serde` shim, so the bench CLI can dump a machine-readable
+//! successor to `tables_output.txt`.
 
+use loadex_obs::span::{self, Span, SpanState};
+use loadex_obs::MetricsSnapshot;
 use loadex_sim::{SimDuration, SimTime, StatSet, Welford};
+use serde::{ser::JsonMap, Serialize};
 
 /// What a process was doing during a timeline interval.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -77,12 +84,20 @@ pub struct RunReport {
     pub view_err_decision_mem: Welford,
     /// Per-process activity timelines (empty unless recording was enabled).
     pub timelines: Vec<Timeline>,
+    /// Frozen metrics registry of the run: MechStats totals and network
+    /// counters as counters, plus the latency / snapshot-duration /
+    /// view-staleness histograms when the run was observed (see
+    /// [`SolverWorld::set_recorder`](crate::engine::SolverWorld::set_recorder)).
+    pub metrics: MetricsSnapshot,
 }
 
 impl RunReport {
     /// Peak active memory over all processes, in raw entries (Table 4).
     pub fn mem_peak_entries(&self) -> f64 {
-        self.procs.iter().map(|p| p.mem_peak_entries).fold(0.0, f64::max)
+        self.procs
+            .iter()
+            .map(|p| p.mem_peak_entries)
+            .fold(0.0, f64::max)
     }
 
     /// Peak active memory over all processes, in millions of entries — the
@@ -107,6 +122,28 @@ impl RunReport {
         self.factor_time.as_secs_f64()
     }
 
+    /// The recorded timelines as per-process [`Span`] lists (closed at the
+    /// makespan), the shape the `loadex-obs` span/exporter layer consumes.
+    pub fn spans(&self) -> Vec<Vec<Span>> {
+        self.timelines
+            .iter()
+            .map(|tl| {
+                let transitions: Vec<(SimTime, SpanState)> = tl
+                    .iter()
+                    .map(|&(t, a)| {
+                        let s = match a {
+                            Activity::Idle => SpanState::Idle,
+                            Activity::Busy => SpanState::Busy,
+                            Activity::Blocked => SpanState::Blocked,
+                        };
+                        (t, s)
+                    })
+                    .collect();
+                span::transitions_to_spans(&transitions, self.factor_time)
+            })
+            .collect()
+    }
+
     /// Render the recorded timelines as an ASCII Gantt chart of `width`
     /// columns: `#` busy, `S` blocked in the snapshot protocol, `.` idle.
     /// Returns an explanatory placeholder if recording was off.
@@ -114,38 +151,64 @@ impl RunReport {
         if self.timelines.iter().all(|t| t.is_empty()) {
             return "(timeline recording disabled; set SolverConfig::record_timeline)".into();
         }
-        let total = self.factor_time.as_nanos().max(1);
-        let mut out = String::new();
-        out.push_str(&format!(
-            "gantt: {} procs over {} ('#'=busy 'S'=snapshot-blocked '.'=idle)
-",
-            self.timelines.len(),
-            self.factor_time
-        ));
-        for (p, tl) in self.timelines.iter().enumerate() {
-            let mut line = vec!['.'; width];
-            // For each bucket take the activity covering most of it — a
-            // cheap approximation: the activity at the bucket's midpoint.
-            for (b, c) in line.iter_mut().enumerate() {
-                let t = total * (2 * b as u64 + 1) / (2 * width as u64);
-                let mut act = Activity::Idle;
-                for &(at, a) in tl {
-                    if at.as_nanos() <= t {
-                        act = a;
-                    } else {
-                        break;
-                    }
-                }
-                *c = match act {
-                    Activity::Idle => '.',
-                    Activity::Busy => '#',
-                    Activity::Blocked => 'S',
-                };
-            }
-            out.push_str(&format!("P{p:<3} {}
-", line.iter().collect::<String>()));
-        }
-        out
+        span::render_gantt(&self.spans(), self.factor_time, width)
+    }
+}
+
+fn welford_fields(w: &Welford, out: &mut String) {
+    let mut m = JsonMap::new(out);
+    m.field("count", &w.count())
+        .field("mean", &w.mean())
+        .field("stddev", &w.stddev())
+        .field("min", &if w.count() == 0 { 0.0 } else { w.min() })
+        .field("max", &if w.count() == 0 { 0.0 } else { w.max() });
+    m.end();
+}
+
+impl Serialize for ProcReport {
+    fn serialize_json(&self, out: &mut String) {
+        let mut m = JsonMap::new(out);
+        m.field("mem_peak_entries", &self.mem_peak_entries)
+            .field("mem_final_entries", &self.mem_final_entries)
+            .field("state_msgs_sent", &self.state_msgs_sent)
+            .field("state_bytes_sent", &self.state_bytes_sent)
+            .field("decisions", &self.decisions)
+            .field("busy_s", &self.busy.as_secs_f64())
+            .field("blocked_s", &self.blocked.as_secs_f64());
+        m.end();
+    }
+}
+
+impl Serialize for RunReport {
+    fn serialize_json(&self, out: &mut String) {
+        let counters: std::collections::BTreeMap<&str, u64> = self.counters.iter().collect();
+        let mut m = JsonMap::new(out);
+        m.field("factor_time_s", &self.seconds())
+            .field("decisions", &self.decisions)
+            .field("state_msgs", &self.state_msgs)
+            .field("state_bytes", &self.state_bytes)
+            .field("app_msgs", &self.app_msgs)
+            .field("snapshot_union_s", &self.snapshot_union_time.as_secs_f64())
+            .field("snapshot_max_concurrent", &self.snapshot_max_concurrent)
+            .field("snapshots_started", &self.snapshots_started)
+            .field("mem_peak_entries", &self.mem_peak_entries())
+            .field("efficiency", &self.efficiency())
+            .field("counters", &counters)
+            .field_with("view_err_time_work", |o| {
+                welford_fields(&self.view_err_time_work, o)
+            })
+            .field_with("view_err_time_mem", |o| {
+                welford_fields(&self.view_err_time_mem, o)
+            })
+            .field_with("view_err_decision_work", |o| {
+                welford_fields(&self.view_err_decision_work, o)
+            })
+            .field_with("view_err_decision_mem", |o| {
+                welford_fields(&self.view_err_decision_mem, o)
+            })
+            .field("procs", &self.procs)
+            .field("metrics", &self.metrics);
+        m.end();
     }
 }
 
@@ -158,8 +221,16 @@ mod tests {
         let r = RunReport {
             factor_time: SimTime(2_000_000_000),
             procs: vec![
-                ProcReport { mem_peak_entries: 5e6, busy: SimDuration::from_secs(1), ..Default::default() },
-                ProcReport { mem_peak_entries: 7e6, busy: SimDuration::from_secs(2), ..Default::default() },
+                ProcReport {
+                    mem_peak_entries: 5e6,
+                    busy: SimDuration::from_secs(1),
+                    ..Default::default()
+                },
+                ProcReport {
+                    mem_peak_entries: 7e6,
+                    busy: SimDuration::from_secs(2),
+                    ..Default::default()
+                },
             ],
             decisions: 0,
             state_msgs: 0,
@@ -174,6 +245,7 @@ mod tests {
             view_err_decision_work: Welford::default(),
             view_err_decision_mem: Welford::default(),
             timelines: vec![],
+            metrics: Default::default(),
         };
         assert_eq!(r.mem_peak_entries(), 7e6);
         assert!((r.mem_peak_millions() - 7.0).abs() < 1e-9);
@@ -199,6 +271,7 @@ mod tests {
             view_err_decision_work: Welford::default(),
             view_err_decision_mem: Welford::default(),
             timelines: vec![],
+            metrics: Default::default(),
         };
         assert_eq!(r.efficiency(), 0.0);
         assert_eq!(r.mem_peak_entries(), 0.0);

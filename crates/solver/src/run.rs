@@ -4,6 +4,7 @@ use crate::config::SolverConfig;
 use crate::engine::{Ev, SolverWorld};
 use crate::mapping::{self, MappingParams};
 use crate::report::RunReport;
+use loadex_obs::Recorder;
 use loadex_sim::{ActorId, SimConfig, SimTime, Simulator, StopReason};
 use loadex_sparse::AssemblyTree;
 
@@ -23,6 +24,21 @@ use loadex_sparse::AssemblyTree;
 /// assert!(report.decisions > 0);
 /// ```
 pub fn run_experiment(tree: &AssemblyTree, cfg: &SolverConfig) -> RunReport {
+    run_experiment_observed(tree, cfg, Recorder::disabled())
+}
+
+/// Like [`run_experiment`], but with an observability sink attached: when
+/// `recorder` is enabled, the full typed protocol-event stream of the run is
+/// captured in it (drain with [`Recorder::take`], export with
+/// `loadex_obs::jsonl` / `loadex_obs::chrome`) and the report's
+/// [`metrics`](RunReport::metrics) carry the latency, snapshot-duration and
+/// view-staleness histograms. With a disabled recorder this is exactly
+/// [`run_experiment`].
+pub fn run_experiment_observed(
+    tree: &AssemblyTree,
+    cfg: &SolverConfig,
+    recorder: Recorder,
+) -> RunReport {
     let plan = mapping::plan(
         tree,
         cfg.nprocs,
@@ -39,6 +55,7 @@ pub fn run_experiment(tree: &AssemblyTree, cfg: &SolverConfig) -> RunReport {
         cfg.threshold = Some(derive_threshold(tree, &plan, &cfg));
     }
     let mut world = SolverWorld::new(tree.clone(), plan, cfg.clone());
+    world.set_recorder(recorder);
     let mut sim = Simulator::new(SimConfig {
         // Generous livelock valve: proportional to the task count.
         max_events: 2_000 * (tree.len() as u64 + 64) * (cfg.nprocs as u64 + 4),
@@ -67,7 +84,11 @@ pub fn run_experiment(tree: &AssemblyTree, cfg: &SolverConfig) -> RunReport {
 /// granularity of the tasks appearing in the slave selections." We derive it
 /// from the mean Type 2 slave share (a quarter of it, so shares themselves
 /// always cross the threshold but the small-task noise does not).
-fn derive_threshold(tree: &AssemblyTree, plan: &crate::mapping::TreePlan, cfg: &SolverConfig) -> loadex_core::Threshold {
+fn derive_threshold(
+    tree: &AssemblyTree,
+    plan: &crate::mapping::TreePlan,
+    cfg: &SolverConfig,
+) -> loadex_core::Threshold {
     use crate::mapping::NodeType;
     use loadex_sparse::Symmetry;
     let ef = match tree.sym {
@@ -157,7 +178,11 @@ mod tests {
         for strat in [Strategy::MemoryBased, Strategy::WorkloadBased] {
             let c = cfg(4, MechKind::Increments).with_strategy(strat);
             let r = run_experiment(&t, &c);
-            assert!(r.factor_time > SimTime::ZERO, "{}: no progress", strat.name());
+            assert!(
+                r.factor_time > SimTime::ZERO,
+                "{}: no progress",
+                strat.name()
+            );
         }
     }
 
@@ -166,10 +191,7 @@ mod tests {
         let t = by_name("TWOTONE").unwrap().build_tree();
         let base = SolverConfig::new(8).with_mechanism(MechKind::Snapshot);
         let single = run_experiment(&t, &base);
-        let threaded = run_experiment(
-            &t,
-            &base.clone().with_comm(CommMode::threaded_default()),
-        );
+        let threaded = run_experiment(&t, &base.clone().with_comm(CommMode::threaded_default()));
         assert!(single.factor_time > SimTime::ZERO);
         assert!(threaded.factor_time > SimTime::ZERO);
         // The whole point of §4.5: snapshots complete much faster when state
@@ -185,7 +207,10 @@ mod tests {
     #[test]
     fn snapshot_mechanism_counts_fewer_messages() {
         let t = by_name("TWOTONE").unwrap().build_tree();
-        let inc = run_experiment(&t, &SolverConfig::new(8).with_mechanism(MechKind::Increments));
+        let inc = run_experiment(
+            &t,
+            &SolverConfig::new(8).with_mechanism(MechKind::Increments),
+        );
         let snp = run_experiment(&t, &SolverConfig::new(8).with_mechanism(MechKind::Snapshot));
         assert!(inc.decisions > 0);
         assert_eq!(inc.decisions, snp.decisions, "same static classification");
@@ -195,6 +220,58 @@ mod tests {
             snp.state_msgs,
             inc.state_msgs
         );
+    }
+
+    #[test]
+    fn observed_run_captures_events_and_metrics() {
+        let t = small_tree();
+        let c = cfg(4, MechKind::Snapshot);
+        let rec = Recorder::enabled();
+        let r = run_experiment_observed(&t, &c, rec.clone());
+        let events = rec.take();
+        assert!(!events.is_empty(), "an observed run must emit events");
+        // The metrics snapshot's per-mechanism totals are the MechStats sums.
+        assert_eq!(r.metrics.counter("state_msgs_sent"), r.state_msgs);
+        assert_eq!(r.metrics.counter("state_bytes_sent"), r.state_bytes);
+        assert_eq!(r.metrics.counter("decisions"), r.decisions);
+        assert_eq!(r.metrics.counter("snapshots_started"), r.snapshots_started);
+        assert_eq!(
+            r.metrics.counter("net_state_msgs"),
+            r.counters.get("net_state_msgs")
+        );
+        // Run histograms are populated under the snapshot mechanism.
+        assert!(r.metrics.histograms["state_msg_latency_ns"].count > 0);
+        assert!(r.metrics.histograms["snapshot_duration_ns"].count > 0);
+        assert_eq!(
+            r.metrics.histograms["view_staleness_decision_work"].count,
+            r.decisions * 3,
+            "one staleness sample per (decision, other proc)"
+        );
+        // Every protocol event kind the snapshot run exercises shows up.
+        for kind in [
+            "state_send",
+            "state_recv",
+            "snapshot_start",
+            "snapshot_end",
+            "election_won",
+            "decision_open",
+            "decision_complete",
+            "blocked",
+            "resumed",
+            "task_start",
+            "task_end",
+            "mem_alloc",
+            "mem_free",
+        ] {
+            assert!(
+                events.iter().any(|e| e.event.name() == kind),
+                "missing event kind {kind}"
+            );
+        }
+        // Observation must not perturb the simulation itself.
+        let r2 = run_experiment(&t, &c);
+        assert_eq!(r2.factor_time, r.factor_time);
+        assert_eq!(r2.state_msgs, r.state_msgs);
     }
 
     #[test]

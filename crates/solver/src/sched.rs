@@ -50,7 +50,13 @@ fn water_fill(levels: &[f64], c: f64, total: f64) -> Vec<f64> {
         t = (total * c + prefix) / n as f64;
     }
     (0..n)
-        .map(|i| if i < used { ((t - levels[i]) / c).max(0.0) } else { 0.0 })
+        .map(|i| {
+            if i < used {
+                ((t - levels[i]) / c).max(0.0)
+            } else {
+                0.0
+            }
+        })
         .collect()
 }
 
@@ -89,7 +95,7 @@ pub fn select_slaves_among(
     if ncb_rows == 0 || view.nprocs() < 2 {
         return Vec::new();
     }
-    let permitted = |p: ActorId| allowed.map_or(true, |set| set.contains(&p));
+    let permitted = |p: ActorId| allowed.is_none_or(|set| set.contains(&p));
     let mut cands: Vec<(ActorId, f64)> = match cfg.strategy {
         Strategy::MemoryBased => view
             .others()
@@ -120,7 +126,11 @@ pub fn select_slaves_among(
     }
     debug_assert!(cands.iter().all(|(p, _)| *p != me));
     // Deterministic order: by level, ties by rank.
-    cands.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.index().cmp(&b.0.index())));
+    cands.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .unwrap()
+            .then(a.0.index().cmp(&b.0.index()))
+    });
 
     let per_row = match cfg.strategy {
         Strategy::MemoryBased => mem_per_row,
@@ -279,7 +289,11 @@ mod tests {
         let v = view(&[(0.0, 0.0), (5.0, 100.0), (5.0, 9000.0), (5.0, 9000.0)]);
         let shares = select_slaves(&c, &v, 100, 10.0, 50.0);
         assert_eq!(shares.iter().map(|s| s.rows).sum::<u32>(), 100);
-        let p1 = shares.iter().find(|s| s.slave == ActorId(1)).map(|s| s.rows).unwrap_or(0);
+        let p1 = shares
+            .iter()
+            .find(|s| s.slave == ActorId(1))
+            .map(|s| s.rows)
+            .unwrap_or(0);
         assert!(p1 >= 80, "P1 should take the bulk, got {p1}");
     }
 
@@ -288,7 +302,11 @@ mod tests {
         let c = cfg(Strategy::WorkloadBased);
         let v = view(&[(0.0, 0.0), (1e6, 0.0), (10.0, 0.0), (1e6, 0.0)]);
         let shares = select_slaves(&c, &v, 60, 10.0, 50.0);
-        let p2 = shares.iter().find(|s| s.slave == ActorId(2)).map(|s| s.rows).unwrap_or(0);
+        let p2 = shares
+            .iter()
+            .find(|s| s.slave == ActorId(2))
+            .map(|s| s.rows)
+            .unwrap_or(0);
         assert_eq!(p2, 60, "idle P2 takes everything under kmax");
     }
 
@@ -297,7 +315,12 @@ mod tests {
         let mut c = cfg(Strategy::WorkloadBased);
         c.mem_relax = 1.2;
         // P1 is idle but memory-saturated; P2 busy but has room.
-        let v = view(&[(0.0, 100.0), (0.0, 10_000.0), (500.0, 100.0), (400.0, 100.0)]);
+        let v = view(&[
+            (0.0, 100.0),
+            (0.0, 10_000.0),
+            (500.0, 100.0),
+            (400.0, 100.0),
+        ]);
         let shares = select_slaves(&c, &v, 50, 10.0, 50.0);
         assert!(
             shares.iter().all(|s| s.slave != ActorId(1)),

@@ -310,7 +310,11 @@ mod tests {
         let xs: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
         let b = a.matvec(&xs);
         let x = f.solve(&b);
-        let err: f64 = x.iter().zip(&xs).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        let err: f64 = x
+            .iter()
+            .zip(&xs)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
         assert!(err < 1e-9, "max error {err}");
         assert!(residual_norm(&a, &x, &b) < 1e-9);
     }
@@ -322,7 +326,11 @@ mod tests {
         let pattern = a.pattern();
         let parent = elimination_tree(&pattern);
         let predicted = crate::etree::column_counts(&pattern, &parent);
-        assert_eq!(f.col_counts(), predicted, "symbolic prediction must be exact");
+        assert_eq!(
+            f.col_counts(),
+            predicted,
+            "symbolic prediction must be exact"
+        );
         assert_eq!(f.nnz() as u64, predicted.iter().sum::<u64>());
     }
 
@@ -356,10 +364,19 @@ mod tests {
         for (new, &old) in perm.iter().enumerate() {
             x[old as usize] = px[new];
         }
-        let err: f64 = x.iter().zip(&xs).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        let err: f64 = x
+            .iter()
+            .zip(&xs)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
         assert!(err < 1e-9, "max error {err}");
         // And reduce fill versus natural order on this grid.
-        assert!(f_nd.nnz() < f_nat.nnz(), "{} !< {}", f_nd.nnz(), f_nat.nnz());
+        assert!(
+            f_nd.nnz() < f_nat.nnz(),
+            "{} !< {}",
+            f_nd.nnz(),
+            f_nat.nnz()
+        );
     }
 
     #[test]

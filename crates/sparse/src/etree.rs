@@ -62,8 +62,8 @@ pub fn postorder(parent: &[Option<u32>]) -> Vec<u32> {
     let children = children_lists(parent);
     let mut post = Vec::with_capacity(n);
     let mut stack: Vec<(u32, usize)> = Vec::new();
-    for r in 0..n {
-        if parent[r].is_some() {
+    for (r, par) in parent.iter().enumerate() {
+        if par.is_some() {
             continue;
         }
         stack.push((r as u32, 0));
@@ -87,12 +87,8 @@ pub fn postorder(parent: &[Option<u32>]) -> Vec<u32> {
 pub fn column_counts(p: &SparsePattern, parent: &[Option<u32>]) -> Vec<u64> {
     let n = p.n();
     let mut count = vec![1u64; n]; // diagonal
-    let mut mark: Vec<u32> = (0..n as u32).collect(); // mark[j] == i ⇔ visited for row i
-    // Use a sentinel scheme: mark[j] stores the last row i whose subtree
-    // visited j; initialise to self so the walk from k stops at i correctly.
-    for j in 0..n {
-        mark[j] = u32::MAX;
-    }
+                                   // Sentinel scheme: mark[j] stores the last row i whose subtree visited j.
+    let mut mark: Vec<u32> = vec![u32::MAX; n];
     for i in 0..n {
         mark[i] = i as u32;
         for &k in p.neighbors(i) {

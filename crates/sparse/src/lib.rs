@@ -40,7 +40,7 @@ pub mod tree;
 pub use chol::{cholesky, CholError, CholFactor};
 pub use lu::{lu, GenCsc, LuError, LuFactor};
 pub use matrix::SymCsc;
-pub use multifrontal::{mf_analyze, mf_factorize, mf_factorize_parallel, MfOptions, MfSymbolic};
 pub use models::{paper_matrices, MatrixModel, ProblemSet};
+pub use multifrontal::{mf_analyze, mf_factorize, mf_factorize_parallel, MfOptions, MfSymbolic};
 pub use pattern::SparsePattern;
 pub use tree::{AssemblyTree, FrontNode, Symmetry};

@@ -109,9 +109,9 @@ impl GenCsc {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n);
         let mut y = vec![0.0; self.n];
-        for j in 0..self.n {
+        for (j, &xj) in x.iter().enumerate() {
             for (&r, &v) in self.col_rows(j).iter().zip(self.col_values(j)) {
-                y[r as usize] += v * x[j];
+                y[r as usize] += v * xj;
             }
         }
         y
@@ -316,7 +316,10 @@ mod tests {
         assert!((f.pivots()[0] - 2.0).abs() < 1e-12);
         assert!((f.pivots()[1] - 3.0).abs() < 1e-12);
         let x = f.solve(&[3.0, 9.0]);
-        assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12, "{x:?}");
+        assert!(
+            (x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12,
+            "{x:?}"
+        );
     }
 
     #[test]
@@ -343,7 +346,11 @@ mod tests {
         let xs: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
         let b = a.matvec(&xs);
         let x = f.solve(&b);
-        let err: f64 = x.iter().zip(&xs).map(|(u, v)| (u - v).abs()).fold(0.0, f64::max);
+        let err: f64 = x
+            .iter()
+            .zip(&xs)
+            .map(|(u, v)| (u - v).abs())
+            .fold(0.0, f64::max);
         assert!(err < 1e-9, "max err {err}");
     }
 

@@ -38,17 +38,11 @@ pub struct MfSymbolic {
 }
 
 /// Options for the multifrontal analysis.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct MfOptions {
     /// Children with at most this many pivots merge into their parent
     /// (0 = fundamental supernodes only).
     pub amalg_pivots: u32,
-}
-
-impl Default for MfOptions {
-    fn default() -> Self {
-        MfOptions { amalg_pivots: 0 }
-    }
 }
 
 /// Symbolic multifrontal analysis retaining per-front structures.
@@ -245,6 +239,9 @@ pub fn mf_analyze(pattern: &SparsePattern, opts: MfOptions) -> MfSymbolic {
     }
 }
 
+/// A contribution block passed up the tree: `(border rows, dense lower)`.
+type CbBlock = (Vec<u32>, Vec<f64>);
+
 /// Factor `a` (SPD, already permuted) through the fronts of `sym`.
 /// Returns the factor in the same CSC form as [`crate::chol::cholesky`].
 pub fn mf_factorize(sym: &MfSymbolic, a: &SymCsc) -> Result<CholFactor, CholError> {
@@ -419,7 +416,12 @@ mod tests {
         let a = spd_grid2d(10, 9, 0.1);
         let n = a.n();
         for amalg in [0u32, 4, 16] {
-            let sym = mf_analyze(&a.pattern(), MfOptions { amalg_pivots: amalg });
+            let sym = mf_analyze(
+                &a.pattern(),
+                MfOptions {
+                    amalg_pivots: amalg,
+                },
+            );
             assert_eq!(
                 sym.tree.total_pivots(),
                 n as u64,
@@ -429,7 +431,11 @@ mod tests {
             let xs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).cos()).collect();
             let b = a.matvec(&xs);
             let x = f.solve(&b);
-            let err: f64 = x.iter().zip(&xs).map(|(u, v)| (u - v).abs()).fold(0.0, f64::max);
+            let err: f64 = x
+                .iter()
+                .zip(&xs)
+                .map(|(u, v)| (u - v).abs())
+                .fold(0.0, f64::max);
             assert!(err < 1e-8, "amalg={amalg}: max error {err}");
         }
     }
@@ -466,7 +472,11 @@ mod tests {
         let xs: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
         let b = pa.matvec(&xs);
         let x = f.solve(&b);
-        let err: f64 = x.iter().zip(&xs).map(|(u, v)| (u - v).abs()).fold(0.0, f64::max);
+        let err: f64 = x
+            .iter()
+            .zip(&xs)
+            .map(|(u, v)| (u - v).abs())
+            .fold(0.0, f64::max);
         assert!(err < 1e-8, "max error {err}");
     }
 
@@ -587,7 +597,7 @@ pub fn mf_factorize_parallel(sym: &MfSymbolic, a: &SymCsc) -> Result<CholFactor,
         a: &SymCsc,
         f: usize,
         sink: &(impl Fn(FrontOut) + Sync),
-    ) -> Result<Option<(Vec<u32>, Vec<f64>)>, CholError> {
+    ) -> Result<Option<CbBlock>, CholError> {
         let children: Vec<usize> = sym.tree.nodes[f]
             .children
             .iter()
@@ -656,7 +666,10 @@ mod par_tests {
             let (rb, vb) = par.col(j);
             assert_eq!(ra, rb, "column {j} structure");
             for (x, y) in va.iter().zip(vb) {
-                assert!((x - y).abs() < 1e-9 * (1.0 + x.abs()), "column {j}: {x} vs {y}");
+                assert!(
+                    (x - y).abs() < 1e-9 * (1.0 + x.abs()),
+                    "column {j}: {x} vs {y}"
+                );
             }
         }
     }
@@ -673,7 +686,11 @@ mod par_tests {
         let xs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin()).collect();
         let b = pa.matvec(&xs);
         let x = f.solve(&b);
-        let err: f64 = x.iter().zip(&xs).map(|(u, v)| (u - v).abs()).fold(0.0, f64::max);
+        let err: f64 = x
+            .iter()
+            .zip(&xs)
+            .map(|(u, v)| (u - v).abs())
+            .fold(0.0, f64::max);
         assert!(err < 1e-8, "max error {err}");
     }
 

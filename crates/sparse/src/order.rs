@@ -48,7 +48,13 @@ fn bfs_levels(
 /// Find a pseudo-peripheral vertex of the component of `start` (one BFS
 /// sweep to a farthest vertex). `scratch` is the level array; the visited
 /// entries are reset before returning.
-fn pseudo_peripheral(p: &SparsePattern, start: usize, mask: &[u32], tag: u32, scratch: &mut [u32]) -> usize {
+fn pseudo_peripheral(
+    p: &SparsePattern,
+    start: usize,
+    mask: &[u32],
+    tag: u32,
+    scratch: &mut [u32],
+) -> usize {
     let (order, far) = bfs_levels(p, start, mask, tag, scratch);
     for v in order {
         scratch[v as usize] = u32::MAX;
@@ -328,7 +334,10 @@ mod tests {
         let perm = nested_dissection(&p, NdOptions::default());
         assert!(is_permutation(&perm, 5));
         let single = gen::grid2d(1, 1);
-        assert!(is_permutation(&nested_dissection(&single, NdOptions::default()), 1));
+        assert!(is_permutation(
+            &nested_dissection(&single, NdOptions::default()),
+            1
+        ));
     }
 
     #[test]
@@ -339,7 +348,10 @@ mod tests {
         let perm = nested_dissection(&p, NdOptions { leaf_size: 4 });
         assert!(is_permutation(&perm, 64));
         let last = perm[63] as i64;
-        assert!((last - 32).abs() <= 8, "last eliminated = {last}, expected near middle");
+        assert!(
+            (last - 32).abs() <= 8,
+            "last eliminated = {last}, expected near middle"
+        );
     }
 
     #[test]
@@ -413,7 +425,15 @@ pub fn min_degree(p: &SparsePattern) -> Vec<u32> {
                 continue;
             }
             next_stamp += 1;
-            let d = degree(v, next_stamp, &adj, &elems, &boundaries, &eliminated, &mut mark);
+            let d = degree(
+                v,
+                next_stamp,
+                &adj,
+                &elems,
+                &boundaries,
+                &eliminated,
+                &mut mark,
+            );
             if d < best_deg {
                 best_deg = d;
                 best = v;
@@ -492,7 +512,10 @@ mod md_tests {
         let p = crate::pattern::SparsePattern::from_edges(8, &edges);
         let perm = min_degree(&p);
         let centre_pos = perm.iter().position(|&v| v == 0).unwrap();
-        assert!(centre_pos >= 6, "centre eliminated at position {centre_pos}");
+        assert!(
+            centre_pos >= 6,
+            "centre eliminated at position {centre_pos}"
+        );
     }
 
     #[test]

@@ -121,7 +121,9 @@ impl SparsePattern {
             for &j in row {
                 assert_ne!(j as usize, i, "self-loop at {i}");
                 assert!(
-                    self.neighbors(j as usize).binary_search(&(i as u32)).is_ok(),
+                    self.neighbors(j as usize)
+                        .binary_search(&(i as u32))
+                        .is_ok(),
                     "asymmetry: {i}->{j} present but not {j}->{i}"
                 );
             }

@@ -112,7 +112,7 @@ pub fn analyze(p: &SparsePattern, opts: SymbolicOptions) -> SymbolicAnalysis {
         let last = first + sup_npiv[s] as usize - 1;
         sup_nfront[s] = counts[first] as u32;
         sup_parent[s] = parent[last].map(|pc| col_sup[pc as usize]);
-        debug_assert!(sup_parent[s].map_or(true, |ps| ps as usize > s));
+        debug_assert!(sup_parent[s].is_none_or(|ps| ps as usize > s));
     }
 
     // Relaxed amalgamation, children-first (supernodes are topologically
@@ -211,7 +211,11 @@ pub enum Ordering {
 }
 
 /// Order the pattern, then analyze.
-pub fn analyze_with_ordering(p: &SparsePattern, ordering: Ordering, opts: SymbolicOptions) -> SymbolicAnalysis {
+pub fn analyze_with_ordering(
+    p: &SparsePattern,
+    ordering: Ordering,
+    opts: SymbolicOptions,
+) -> SymbolicAnalysis {
     let perm = match ordering {
         Ordering::Identity => order::identity(p.n()),
         Ordering::Rcm => order::rcm(p),
@@ -250,12 +254,18 @@ mod tests {
         let a0 = analyze_with_ordering(
             &p,
             Ordering::NestedDissection,
-            SymbolicOptions { amalg_pivots: 0, sym: Symmetry::Symmetric },
+            SymbolicOptions {
+                amalg_pivots: 0,
+                sym: Symmetry::Symmetric,
+            },
         );
         let a1 = analyze_with_ordering(
             &p,
             Ordering::NestedDissection,
-            SymbolicOptions { amalg_pivots: 8, sym: Symmetry::Symmetric },
+            SymbolicOptions {
+                amalg_pivots: 8,
+                sym: Symmetry::Symmetric,
+            },
         );
         assert!(a1.tree.len() < a0.tree.len());
         assert_eq!(a0.tree.total_pivots(), a1.tree.total_pivots());
@@ -271,7 +281,13 @@ mod tests {
             }
         }
         let p = SparsePattern::from_edges(8, &edges);
-        let a = analyze(&p, SymbolicOptions { amalg_pivots: 0, sym: Symmetry::Symmetric });
+        let a = analyze(
+            &p,
+            SymbolicOptions {
+                amalg_pivots: 0,
+                sym: Symmetry::Symmetric,
+            },
+        );
         assert_eq!(a.tree.len(), 1);
         assert_eq!(a.tree.nodes[0].nfront, 8);
         assert_eq!(a.tree.nodes[0].npiv, 8);
@@ -280,7 +296,13 @@ mod tests {
     #[test]
     fn path_graph_amalgamates_to_few_nodes() {
         let p = gen::grid2d(64, 1);
-        let a = analyze(&p, SymbolicOptions { amalg_pivots: 16, sym: Symmetry::Symmetric });
+        let a = analyze(
+            &p,
+            SymbolicOptions {
+                amalg_pivots: 16,
+                sym: Symmetry::Symmetric,
+            },
+        );
         assert!(a.tree.len() <= 8, "got {} nodes", a.tree.len());
         assert_eq!(a.tree.total_pivots(), 64);
     }
@@ -294,7 +316,10 @@ mod tests {
         let a = analyze_with_ordering(
             &p,
             Ordering::NestedDissection,
-            SymbolicOptions { amalg_pivots: 0, sym: Symmetry::Symmetric },
+            SymbolicOptions {
+                amalg_pivots: 0,
+                sym: Symmetry::Symmetric,
+            },
         );
         let root = a.tree.roots[0] as usize;
         let nf = a.tree.nodes[root].nfront as usize;

@@ -295,10 +295,8 @@ mod tests {
     fn flops_partial_factorization_additivity() {
         // Eliminating p then (m−p) pivots must equal eliminating m at once.
         let whole = AssemblyTree::from_parents(Symmetry::Unsymmetric, &[(None, 10, 10)]);
-        let split = AssemblyTree::from_parents(
-            Symmetry::Unsymmetric,
-            &[(Some(1), 10, 4), (None, 6, 6)],
-        );
+        let split =
+            AssemblyTree::from_parents(Symmetry::Unsymmetric, &[(Some(1), 10, 4), (None, 6, 6)]);
         let a = whole.total_flops();
         let b = split.total_flops();
         assert!((a - b).abs() < 1e-9, "{a} vs {b}");

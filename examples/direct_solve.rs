@@ -19,7 +19,9 @@ use loadex::sparse::multifrontal::{
 use loadex::sparse::order::{nested_dissection, NdOptions};
 
 fn rayon_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn main() {
@@ -29,7 +31,10 @@ fn main() {
         .unwrap_or(40);
     let a = spd_grid2d(k, k, 0.1);
     let n = a.n();
-    println!("problem: {k}x{k} SPD grid Laplacian, n = {n}, nnz(lower) = {}", a.nnz_lower());
+    println!(
+        "problem: {k}x{k} SPD grid Laplacian, n = {n}, nnz(lower) = {}",
+        a.nnz_lower()
+    );
 
     // Fill-reducing ordering.
     let perm = nested_dissection(&a.pattern(), NdOptions::default());

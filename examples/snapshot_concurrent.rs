@@ -103,9 +103,15 @@ fn main() {
         finals.push(h.join().expect("thread panicked"));
     }
     let order = decisions.lock().unwrap().clone();
-    println!("\ndecision order: {:?}", order.iter().map(|d| d.0).collect::<Vec<_>>());
+    println!(
+        "\ndecision order: {:?}",
+        order.iter().map(|d| d.0).collect::<Vec<_>>()
+    );
     assert_eq!(order.len(), 2);
-    assert_eq!(order[0].0, 1, "smaller rank completes first (leader election)");
+    assert_eq!(
+        order[0].0, 1,
+        "smaller rank completes first (leader election)"
+    );
     assert_eq!(order[1].0, 2);
     assert_eq!(order[0].1, 30.0, "P1 saw P3's initial load");
     assert_eq!(

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full local CI gate: build, test, lint, format. All offline — the workspace
+# vendors shims for external crates (see shims/) and never hits the network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --workspace --release --offline
+run cargo test --workspace --offline -q
+run cargo clippy --workspace --offline -- -D warnings
+run cargo fmt --check
+
+echo "All checks passed."

@@ -1,0 +1,317 @@
+//! Hermetic stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmark harness exposing the API surface used by
+//! `crates/bench/benches/*`: `criterion_group!`/`criterion_main!` (both
+//! forms), benchmark groups, `bench_function`/`bench_with_input`,
+//! throughput annotation, and `black_box`. Each benchmark is measured over
+//! `sample_size` samples after a calibration pass; the per-iteration
+//! mean/min/max and optional throughput are printed in a criterion-like
+//! format. No statistics beyond that — enough to compare runs by eye and to
+//! keep `cargo bench` working without registry access.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Measure a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), self.sample_size, None, f);
+        self
+    }
+}
+
+/// Throughput annotation for a group: scales the printed rate.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name, parameter),
+        }
+    }
+
+    /// Just the parameter (the group provides the name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A named group of benchmarks sharing sample size and throughput.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Measure one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Measure one benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (report separator).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    mode: BenchMode,
+}
+
+enum BenchMode {
+    /// Calibration: run once, record elapsed.
+    Calibrate,
+    /// Measurement: run `iters_per_sample` per sample.
+    Measure,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its result alive via [`black_box`].
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        match self.mode {
+            BenchMode::Calibrate => {
+                let start = Instant::now();
+                black_box(routine());
+                self.samples.push(start.elapsed());
+            }
+            BenchMode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iters_per_sample {
+                    black_box(routine());
+                }
+                self.samples.push(start.elapsed());
+            }
+        }
+    }
+}
+
+/// Target wall-clock time per measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(10);
+
+fn run_benchmark<F>(name: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration pass: one un-timed-loop run to size the measurement loop.
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        mode: BenchMode::Calibrate,
+    };
+    f(&mut b);
+    let single = b.samples.first().copied().unwrap_or(Duration::ZERO);
+    let iters_per_sample = if single.is_zero() {
+        1000
+    } else {
+        (SAMPLE_TARGET.as_nanos() / single.as_nanos().max(1)).clamp(1, 100_000) as u64
+    };
+
+    let mut b = Bencher {
+        iters_per_sample,
+        samples: Vec::with_capacity(sample_size),
+        mode: BenchMode::Measure,
+    };
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+
+    let per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / iters_per_sample as f64)
+        .collect();
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            format!("  thrpt: {:>11}/s", format_count(n as f64 / mean))
+        }
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            format!("  thrpt: {:>10}B/s", format_count(n as f64 / mean))
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{:<50} time: [{} {} {}]{}",
+        name,
+        format_secs(min),
+        format_secs(mean),
+        format_secs(max),
+        rate
+    );
+}
+
+fn format_secs(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.2} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.2} s", s)
+    }
+}
+
+fn format_count(c: f64) -> String {
+    if c >= 1e9 {
+        format!("{:.2} G", c / 1e9)
+    } else if c >= 1e6 {
+        format!("{:.2} M", c / 1e6)
+    } else if c >= 1e3 {
+        format!("{:.2} K", c / 1e3)
+    } else {
+        format!("{:.1} ", c)
+    }
+}
+
+/// Define a benchmark group function. Supports both the positional form
+/// `criterion_group!(benches, f1, f2)` and the configured form
+/// `criterion_group! { name = benches; config = ...; targets = f1, f2 }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the given groups (CLI arguments from `cargo bench`
+/// are accepted and ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim_selftest");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function(BenchmarkId::from_parameter("add"), |b| {
+            b.iter(|| black_box(2u64) + black_box(3u64))
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, tiny_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("a", 3).to_string(), "a/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

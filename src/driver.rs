@@ -145,8 +145,8 @@ impl<M: Mechanism> Driver<M> {
             if !notifies.is_empty() || Instant::now() >= deadline {
                 return notifies;
             }
-            let wait = Duration::from_micros(200)
-                .min(deadline.saturating_duration_since(Instant::now()));
+            let wait =
+                Duration::from_micros(200).min(deadline.saturating_duration_since(Instant::now()));
             if let Ok(env) = self.ep.recv_state_timeout(wait) {
                 notifies.extend(self.mech.on_state_msg(env.from, env.msg, &mut self.out));
                 self.flush();
@@ -161,7 +161,11 @@ impl<M: Mechanism> Driver<M> {
     /// fresh view; maintained-view mechanisms answer immediately), call
     /// `select` with the view, announce the selection, and wait until the
     /// mechanism unblocks. Returns the selection.
-    pub fn decide<F>(&mut self, timeout: Duration, select: F) -> Result<Vec<(ActorId, Load)>, DriverError>
+    pub fn decide<F>(
+        &mut self,
+        timeout: Duration,
+        select: F,
+    ) -> Result<Vec<(ActorId, Load)>, DriverError>
     where
         F: FnOnce(&crate::core::LoadTable) -> Vec<(ActorId, Load)>,
     {
@@ -235,7 +239,10 @@ mod tests {
                     let rank = ep.rank();
                     let mech = IncrementMechanism::new(rank, N, Threshold::ZERO);
                     let mut d = Driver::new(mech, ep);
-                    d.local_change(Load::work(10.0 * (rank.index() + 1) as f64), ChangeOrigin::Local);
+                    d.local_change(
+                        Load::work(10.0 * (rank.index() + 1) as f64),
+                        ChangeOrigin::Local,
+                    );
                     // Serve for a while to absorb everyone's updates.
                     let end = Instant::now() + Duration::from_millis(300);
                     while Instant::now() < end {

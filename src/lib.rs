@@ -15,6 +15,9 @@
 //!   elimination/assembly trees, symbolic factorization.
 //! * [`solver`] — a MUMPS-like asynchronous multifrontal solver simulator
 //!   with memory-based and workload-based dynamic scheduling.
+//! * [`obs`] — observability: typed protocol events, a metrics registry
+//!   (counters, gauges, log-scale histograms), and JSONL / Chrome
+//!   `trace_event` exporters.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
 
@@ -22,6 +25,7 @@ pub mod driver;
 
 pub use loadex_core as core;
 pub use loadex_net as net;
+pub use loadex_obs as obs;
 pub use loadex_sim as sim;
 pub use loadex_solver as solver;
 pub use loadex_sparse as sparse;

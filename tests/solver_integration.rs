@@ -293,7 +293,10 @@ fn coherence_probe_collects_samples() {
     cfg.coherence_probe = Some(SimDuration::from_micros(100));
     let r = run_experiment(&tree, &cfg);
     assert!(r.view_err_time_work.count() > 0, "probe must sample");
-    assert!(r.view_err_decision_work.count() > 0, "decisions must sample");
+    assert!(
+        r.view_err_decision_work.count() > 0,
+        "decisions must sample"
+    );
     assert!(r.view_err_time_work.mean() >= 0.0);
     // Without the probe, only decision samples appear.
     let r2 = run_experiment(&tree, &small_cfg(4));
