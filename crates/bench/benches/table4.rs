@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use loadex_bench::config_for;
 use loadex_core::MechKind;
-use loadex_solver::{run_experiment, Strategy};
+use loadex_solver::{run, Strategy};
 use loadex_sparse::models::by_name;
 
 fn bench(c: &mut Criterion) {
@@ -15,7 +15,7 @@ fn bench(c: &mut Criterion) {
             let cfg = config_for(16)
                 .with_mechanism(mech)
                 .with_strategy(Strategy::MemoryBased);
-            b.iter(|| run_experiment(&tree, &cfg).mem_peak_millions())
+            b.iter(|| run(&tree, &cfg).unwrap().mem_peak_millions())
         });
     }
     g.finish();

@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use loadex_bench::config_for;
 use loadex_core::MechKind;
-use loadex_solver::run_experiment;
+use loadex_solver::run;
 use loadex_sparse::models::by_name;
 
 fn bench(c: &mut Criterion) {
@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     for mech in [MechKind::Increments, MechKind::Snapshot] {
         g.bench_with_input(BenchmarkId::from_parameter(mech), &mech, |b, &mech| {
             let cfg = config_for(16).with_mechanism(mech);
-            b.iter(|| run_experiment(&tree, &cfg).state_msgs)
+            b.iter(|| run(&tree, &cfg).unwrap().state_msgs)
         });
     }
     g.finish();

@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use loadex_bench::config_for;
 use loadex_core::MechKind;
-use loadex_solver::{run_experiment, CommMode};
+use loadex_solver::{run, CommMode};
 use loadex_sparse::models::by_name;
 
 fn bench(c: &mut Criterion) {
@@ -14,7 +14,7 @@ fn bench(c: &mut Criterion) {
             let cfg = config_for(16)
                 .with_mechanism(mech)
                 .with_comm(CommMode::threaded_default());
-            b.iter(|| run_experiment(&tree, &cfg).seconds())
+            b.iter(|| run(&tree, &cfg).unwrap().seconds())
         });
     }
     g.finish();

@@ -2,10 +2,18 @@
 //!
 //! ```text
 //! run --matrix AUDIKW_1 --procs 64 --mech snapshot --strategy workload \
-//!     [--threaded] [--partial K] [--no-nomaster] [--chunk-ms N] \
+//!     [--backend {sim|threaded}] [--threaded] [--no-comm-thread] \
+//!     [--poll-us N] [--time-scale X] [--wall-timeout-s N] \
+//!     [--partial K] [--no-nomaster] [--chunk-ms N] \
 //!     [--latency-us N] [--probe] \
 //!     [--trace-out FILE] [--metrics-out FILE] [--events-out FILE]
 //! ```
+//!
+//! `--backend threaded` executes on real OS threads (one per process) instead
+//! of the discrete-event simulator; `--no-comm-thread`, `--poll-us` and
+//! `--time-scale` tune the §4.5 communication-thread model. (`--threaded`
+//! alone keeps the sim backend and only enables the *modeled* §4.5 comm
+//! thread, `CommMode::CommThread`.)
 //!
 //! The three `--*-out` flags attach the observability layer and write,
 //! respectively, a Chrome `trace_event` JSON (open in `chrome://tracing` or
@@ -16,9 +24,10 @@ use loadex_bench::config_for;
 use loadex_core::MechKind;
 use loadex_obs::{chrome, jsonl, Recorder};
 use loadex_sim::SimDuration;
-use loadex_solver::{run_experiment_observed, CommMode, Strategy};
+use loadex_solver::{run_observed, CommMode, ExecBackend, Strategy, ThreadedBackend};
 use loadex_sparse::models::by_name;
 use serde::Serialize;
+use std::time::Duration;
 
 fn main() {
     let mut matrix = "TWOTONE".to_string();
@@ -26,6 +35,11 @@ fn main() {
     let mut mech = MechKind::Increments;
     let mut strategy = Strategy::WorkloadBased;
     let mut threaded = false;
+    let mut backend_threaded = false;
+    let mut comm_thread = true;
+    let mut poll_us: Option<u64> = None;
+    let mut time_scale: Option<f64> = None;
+    let mut wall_timeout_s: Option<u64> = None;
     let mut partial: Option<usize> = None;
     let mut nomaster = true;
     let mut chunk_ms: Option<u64> = None;
@@ -73,6 +87,20 @@ fn main() {
                 }
             }
             "--threaded" => threaded = true,
+            "--backend" => match next().as_str() {
+                "sim" => backend_threaded = false,
+                "threaded" => backend_threaded = true,
+                other => {
+                    eprintln!("unknown backend {other} (sim|threaded)");
+                    std::process::exit(2);
+                }
+            },
+            "--no-comm-thread" => comm_thread = false,
+            "--poll-us" => poll_us = Some(next().parse().expect("--poll-us N")),
+            "--time-scale" => time_scale = Some(next().parse().expect("--time-scale X")),
+            "--wall-timeout-s" => {
+                wall_timeout_s = Some(next().parse().expect("--wall-timeout-s N"))
+            }
             "--partial" => partial = Some(next().parse().expect("--partial K")),
             "--no-nomaster" => nomaster = false,
             "--chunk-ms" => chunk_ms = Some(next().parse().expect("--chunk-ms N")),
@@ -84,7 +112,9 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: run --matrix NAME --procs N --mech {{naive|increments|snapshot|periodic|gossip}} \
-                     --strategy {{memory|workload}} [--threaded] [--partial K] [--no-nomaster] \
+                     --strategy {{memory|workload}} [--backend {{sim|threaded}}] [--threaded] \
+                     [--no-comm-thread] [--poll-us N] [--time-scale X] [--wall-timeout-s N] \
+                     [--partial K] [--no-nomaster] \
                      [--chunk-ms N] [--latency-us N] [--probe] \
                      [--trace-out FILE] [--metrics-out FILE] [--events-out FILE]"
                 );
@@ -111,6 +141,22 @@ fn main() {
     if threaded {
         cfg = cfg.with_comm(CommMode::threaded_default());
     }
+    if backend_threaded {
+        let mut t = ThreadedBackend::new();
+        if !comm_thread {
+            t = t.without_comm_thread();
+        }
+        if let Some(us) = poll_us {
+            t = t.with_poll_interval(Duration::from_micros(us));
+        }
+        if let Some(s) = time_scale {
+            t = t.with_time_scale(s);
+        }
+        if let Some(s) = wall_timeout_s {
+            t = t.with_wall_timeout(Duration::from_secs(s));
+        }
+        cfg = cfg.with_backend(ExecBackend::Threaded(t));
+    }
     cfg.snapshot_candidates = partial;
     cfg.no_more_master = nomaster;
     if let Some(ms) = chunk_ms {
@@ -125,10 +171,19 @@ fn main() {
 
     let tree = model.build_tree();
     eprintln!(
-        "running {} on {procs} procs: {} / {}{}{}",
+        "running {} on {procs} procs: {} / {}{}{}{}",
         model.name,
         mech.name(),
         strategy.name(),
+        if backend_threaded {
+            if comm_thread {
+                " / threaded backend (comm thread)"
+            } else {
+                " / threaded backend (main loop)"
+            }
+        } else {
+            ""
+        },
         if threaded { " / threaded" } else { "" },
         partial
             .map(|k| format!(" / partial({k})"))
@@ -142,7 +197,13 @@ fn main() {
     } else {
         Recorder::disabled()
     };
-    let r = run_experiment_observed(&tree, &cfg, rec.clone());
+    let r = match run_observed(&tree, &cfg, rec.clone()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            std::process::exit(1);
+        }
+    };
 
     let events = if observe { rec.take() } else { Vec::new() };
     if rec.dropped() > 0 {
@@ -168,6 +229,7 @@ fn main() {
         write(path, "run metrics", r.to_json());
     }
 
+    println!("backend            : {}", r.backend);
     println!("factorization time : {:.2} s", r.seconds());
     println!("dynamic decisions  : {}", r.decisions);
     println!("state messages     : {}", r.state_msgs);

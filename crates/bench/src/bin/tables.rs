@@ -93,6 +93,12 @@ fn main() {
         );
         println!("{}", bench::extended_comparison(np, &large[0]).render());
         println!("{}", bench::ablation_chunk(np, &large[2]).render());
+        // Real threads: cap the process count — this one spawns 2 OS threads
+        // per process.
+        println!(
+            "{}",
+            bench::threaded_backend_comparison(np.min(8), &large[0]).render()
+        );
         println!("{}", bench::ablation_scalability(&large[2]).render());
         println!("{}", bench::ablation_heterogeneous(np, &large[2]).render());
     }

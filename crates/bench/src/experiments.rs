@@ -8,7 +8,9 @@ use loadex_core::{
 };
 use loadex_sim::ActorId;
 use loadex_solver::mapping::{self, MappingParams, NodeType};
-use loadex_solver::{run_experiment, CommMode, RunReport, SolverConfig, Strategy};
+use loadex_solver::{
+    run, CommMode, ExecBackend, RunReport, SolverConfig, Strategy, ThreadedBackend,
+};
 use loadex_sparse::models::{paper_matrices, MatrixModel, ProblemSet};
 use loadex_sparse::{AssemblyTree, Symmetry};
 
@@ -37,7 +39,7 @@ fn sym_str(s: Symmetry) -> &'static str {
 /// Run one configuration on one model.
 pub fn run_one(model: &MatrixModel, cfg: &SolverConfig) -> RunReport {
     let tree = model.build_tree();
-    run_experiment(&tree, cfg)
+    run(&tree, cfg).unwrap()
 }
 
 /// Tables 1 and 2: the test problems.
@@ -103,7 +105,7 @@ pub fn table4(nprocs: usize, matrices: &[MatrixModel]) -> Table {
             let cfg = config_for(nprocs)
                 .with_mechanism(mech)
                 .with_strategy(Strategy::MemoryBased);
-            vals.push(run_experiment(&tree, &cfg).mem_peak_millions());
+            vals.push(run(&tree, &cfg).unwrap().mem_peak_millions());
         }
         let p = paper::table4(m.name, nprocs);
         let pcell =
@@ -132,7 +134,7 @@ pub fn table5(nprocs: usize, matrices: &[MatrixModel]) -> Table {
         let mut vals = Vec::new();
         for mech in [MechKind::Increments, MechKind::Snapshot] {
             let cfg = config_for(nprocs).with_mechanism(mech);
-            vals.push(run_experiment(&tree, &cfg).seconds());
+            vals.push(run(&tree, &cfg).unwrap().seconds());
         }
         let p = paper::table5(m.name, nprocs);
         t.row(vec![
@@ -157,7 +159,7 @@ pub fn table6(nprocs: usize, matrices: &[MatrixModel]) -> Table {
         let mut vals = Vec::new();
         for mech in [MechKind::Increments, MechKind::Snapshot] {
             let cfg = config_for(nprocs).with_mechanism(mech);
-            vals.push(run_experiment(&tree, &cfg).state_msgs);
+            vals.push(run(&tree, &cfg).unwrap().state_msgs);
         }
         let p = paper::table6(m.name, nprocs);
         t.row(vec![
@@ -194,17 +196,18 @@ pub fn table7(nprocs: usize, matrices: &[MatrixModel]) -> Table {
             let cfg = config_for(nprocs)
                 .with_mechanism(mech)
                 .with_comm(CommMode::threaded_default());
-            let r = run_experiment(&tree, &cfg);
+            let r = run(&tree, &cfg).unwrap();
             if mech == MechKind::Snapshot {
                 snp_union_threaded = r.snapshot_union_time.as_secs_f64();
             }
             vals.push(r.seconds());
         }
         // Single-threaded snapshot union for the §4.5 "100 s → 14 s" story.
-        let single = run_experiment(
+        let single = run(
             &tree,
             &config_for(nprocs).with_mechanism(MechKind::Snapshot),
-        );
+        )
+        .unwrap();
         let p = paper::table7(m.name, nprocs);
         t.row(vec![
             m.name.to_string(),
@@ -349,10 +352,10 @@ pub fn ablation_nomaster(nprocs: usize, matrices: &[MatrixModel]) -> Table {
     );
     for m in matrices {
         let tree = m.build_tree();
-        let with = run_experiment(&tree, &config_for(nprocs)).state_msgs;
+        let with = run(&tree, &config_for(nprocs)).unwrap().state_msgs;
         let mut cfg = config_for(nprocs);
         cfg.no_more_master = false;
-        let without = run_experiment(&tree, &cfg).state_msgs;
+        let without = run(&tree, &cfg).unwrap().state_msgs;
         t.row(vec![
             m.name.to_string(),
             with.to_string(),
@@ -382,7 +385,7 @@ pub fn ablation_latency(nprocs: usize, matrices: &[MatrixModel]) -> Table {
             for mech in [MechKind::Increments, MechKind::Snapshot] {
                 let mut cfg = config_for(nprocs).with_mechanism(mech);
                 cfg.network = net;
-                vals.push(run_experiment(&tree, &cfg).seconds());
+                vals.push(run(&tree, &cfg).unwrap().seconds());
             }
             t.row(vec![
                 m.name.to_string(),
@@ -410,7 +413,7 @@ pub fn ablation_threshold(nprocs: usize, model: &MatrixModel) -> Table {
     for scale in [0.25f64, 1.0, 4.0, 16.0] {
         // Derive the default threshold, then scale it.
         let base = config_for(nprocs);
-        let probe = run_experiment(&tree, &base); // warms nothing, but gives defaults
+        let probe = run(&tree, &base).unwrap(); // warms nothing, but gives defaults
         let _ = probe;
         let mut cfg = config_for(nprocs);
         // Emulate scaling by running with an explicit threshold derived from
@@ -418,7 +421,7 @@ pub fn ablation_threshold(nprocs: usize, model: &MatrixModel) -> Table {
         let plan = mapping::plan(&tree, nprocs, mapping_params(&cfg));
         let _ = plan;
         cfg.threshold = Some(scaled_default_threshold(&tree, &cfg, scale));
-        let r = run_experiment(&tree, &cfg);
+        let r = run(&tree, &cfg).unwrap();
         t.row(vec![
             format!("{scale}"),
             r.state_msgs.to_string(),
@@ -485,7 +488,7 @@ pub fn ablation_coherence(nprocs: usize, model: &MatrixModel) -> Table {
     for mech in MechKind::ALL {
         let mut cfg = config_for(nprocs).with_mechanism(mech);
         cfg.coherence_probe = Some(SimDuration::from_millis(500));
-        let r = run_experiment(&tree, &cfg);
+        let r = run(&tree, &cfg).unwrap();
         t.row(vec![
             mech.name().to_string(),
             format!("{:.3e}", r.view_err_time_work.mean()),
@@ -517,7 +520,7 @@ pub fn ablation_leader(nprocs: usize, model: &MatrixModel) -> Table {
     ] {
         let mut cfg = config_for(nprocs).with_mechanism(MechKind::Snapshot);
         cfg.leader_policy = policy;
-        let r = run_experiment(&tree, &cfg);
+        let r = run(&tree, &cfg).unwrap();
         t.row(vec![
             name.to_string(),
             f(r.seconds()),
@@ -545,7 +548,7 @@ pub fn ablation_partial_snapshot(nprocs: usize, model: &MatrixModel) -> Table {
     for k in ks {
         let mut cfg = config_for(nprocs).with_mechanism(MechKind::Snapshot);
         cfg.snapshot_candidates = k;
-        let r = run_experiment(&tree, &cfg);
+        let r = run(&tree, &cfg).unwrap();
         t.row(vec![
             k.map(|v| v.to_string()).unwrap_or_else(|| "all".into()),
             f(r.seconds()),
@@ -581,7 +584,7 @@ pub fn extended_comparison(nprocs: usize, model: &MatrixModel) -> Table {
     for mech in MechKind::EXTENDED {
         let mut cfg = config_for(nprocs).with_mechanism(mech);
         cfg.coherence_probe = Some(SimDuration::from_millis(500));
-        let r = run_experiment(&tree, &cfg);
+        let r = run(&tree, &cfg).unwrap();
         t.row(vec![
             mech.name().to_string(),
             f(r.seconds()),
@@ -620,7 +623,7 @@ pub fn ablation_chunk(nprocs: usize, model: &MatrixModel) -> Table {
         for mech in [MechKind::Increments, MechKind::Snapshot] {
             let mut cfg = config_for(nprocs).with_mechanism(mech);
             cfg.task_chunk = SimDuration::from_millis(ms);
-            let r = run_experiment(&tree, &cfg);
+            let r = run(&tree, &cfg).unwrap();
             if mech == MechKind::Snapshot {
                 snp_t = r.snapshot_union_time.as_secs_f64();
             }
@@ -662,7 +665,7 @@ pub fn ablation_scalability(model: &MatrixModel) -> Table {
         let mut times = Vec::new();
         for mech in [MechKind::Increments, MechKind::Snapshot] {
             let cfg = config_for(np).with_mechanism(mech);
-            let r = run_experiment(&tree, &cfg);
+            let r = run(&tree, &cfg).unwrap();
             msgs.push(r.state_msgs);
             times.push(r.seconds());
         }
@@ -696,7 +699,7 @@ pub fn ablation_heterogeneous(nprocs: usize, model: &MatrixModel) -> Table {
             cfg.speed_factors = (0..nprocs)
                 .map(|p| if p % 2 == 0 { 1.0 } else { slow })
                 .collect();
-            let r = run_experiment(&tree, &cfg);
+            let r = run(&tree, &cfg).unwrap();
             t.row(vec![
                 format!("{slow}"),
                 mech.name().to_string(),
@@ -704,6 +707,56 @@ pub fn ablation_heterogeneous(nprocs: usize, model: &MatrixModel) -> Table {
                 format!("{:.0}%", r.efficiency() * 100.0),
             ]);
         }
+    }
+    t
+}
+
+/// §4.5 across execution backends: the same factorization on the
+/// discrete-event simulator and on the real-thread backend, with and without
+/// the dedicated communication thread. The story to look for is the snapshot
+/// row: total blocked time collapses once state messages are serviced
+/// concurrently with the computation instead of at task-chunk boundaries.
+pub fn threaded_backend_comparison(nprocs: usize, model: &MatrixModel) -> Table {
+    let mut t = Table::new(
+        format!(
+            "§4.5 threaded execution backend: {} on {nprocs} procs",
+            model.name
+        ),
+        &[
+            "mechanism",
+            "sim t(s)",
+            "thr t(s) comm",
+            "thr t(s) main",
+            "blocked(s) comm",
+            "blocked(s) main",
+        ],
+    );
+    let tree = model.build_tree();
+    let blocked_sum = |r: &RunReport| r.procs.iter().map(|p| p.blocked.as_secs_f64()).sum::<f64>();
+    for mech in [MechKind::Naive, MechKind::Increments, MechKind::Snapshot] {
+        let cfg = config_for(nprocs).with_mechanism(mech);
+        let sim = run(&tree, &cfg).unwrap();
+        let comm = run(
+            &tree,
+            &cfg.clone()
+                .with_backend(ExecBackend::Threaded(ThreadedBackend::new())),
+        )
+        .unwrap();
+        let main = run(
+            &tree,
+            &cfg.clone().with_backend(ExecBackend::Threaded(
+                ThreadedBackend::new().without_comm_thread(),
+            )),
+        )
+        .unwrap();
+        t.row(vec![
+            mech.name().to_string(),
+            f(sim.seconds()),
+            f(comm.seconds()),
+            f(main.seconds()),
+            f(blocked_sum(&comm)),
+            f(blocked_sum(&main)),
+        ]);
     }
     t
 }

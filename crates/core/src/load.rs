@@ -125,7 +125,7 @@ impl Sum for Load {
 ///
 /// §2.3: “it is consistent to choose a threshold of the same order as the
 /// granularity of the tasks appearing in the slave selections.”
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct Threshold {
     /// Workload threshold (flops).
     pub work: f64,

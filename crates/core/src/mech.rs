@@ -129,7 +129,11 @@ impl std::fmt::Display for MechKind {
 }
 
 /// The mechanism interface. See the module docs for the calling protocol.
-pub trait Mechanism {
+///
+/// `Send` is a supertrait: the threaded execution backend moves mechanisms
+/// into worker threads and shares them (behind a mutex) with a dedicated
+/// communication thread, exactly as §4.5 prescribes.
+pub trait Mechanism: Send {
     /// This process's rank.
     fn rank(&self) -> ActorId;
 
@@ -284,6 +288,12 @@ impl Mechanism for AnyMechanism {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn any_mechanism_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<AnyMechanism>();
+    }
 
     #[test]
     fn kind_names_match_paper() {

@@ -30,4 +30,4 @@ pub use channel::{Channel, Envelope};
 pub use mailbox::Mailbox;
 pub use model::NetworkModel;
 pub use simnet::{Delivery, SimNetwork};
-pub use thread::{Endpoint, RecvError, ThreadNetwork};
+pub use thread::{CommEndpoint, Endpoint, RecvError, ThreadNetwork};

@@ -9,7 +9,7 @@
 use loadex_sim::SimDuration;
 
 /// Point-to-point message cost model: `latency + size/bandwidth + overhead`.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct NetworkModel {
     /// One-way wire latency per message.
     pub latency: SimDuration,

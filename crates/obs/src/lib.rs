@@ -22,12 +22,14 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod clock;
 pub mod event;
 pub mod jsonl;
 pub mod metrics;
 pub mod recorder;
 pub mod span;
 
+pub use clock::WallClock;
 pub use event::{EventRecord, ProtocolEvent};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use recorder::Recorder;

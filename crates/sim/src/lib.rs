@@ -29,7 +29,6 @@ pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
-pub mod trace;
 
 pub use engine::{ActorId, Scheduler, SimConfig, Simulator, StopReason, World};
 pub use queue::EventQueue;

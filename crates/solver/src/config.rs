@@ -1,8 +1,10 @@
 //! Experiment configuration.
 
+use crate::error::ConfigError;
 use loadex_core::{LeaderPolicy, MechKind, Threshold};
 use loadex_net::NetworkModel;
 use loadex_sim::SimDuration;
+use std::time::Duration;
 
 /// Which dynamic scheduling strategy drives slave/task selection (§4.2).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -48,8 +50,103 @@ impl CommMode {
     }
 }
 
+/// Parameters of the threaded execution backend (§4.5 on real OS threads).
+///
+/// Unlike [`CommMode`], whose period is *simulated* time inside the
+/// discrete-event engine, these are genuine wall-clock quantities: the
+/// backend runs one worker thread per process over
+/// `loadex_net::thread::Endpoint`s and sleeps real microseconds.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ThreadedBackend {
+    /// Spawn a dedicated communication thread per process that services the
+    /// state channel concurrently with compute (§4.5). When `false`, state
+    /// messages are only drained at task-chunk boundaries, like the paper's
+    /// base single-threaded model.
+    pub comm_thread: bool,
+    /// Upper bound on the comm thread's state-channel servicing latency (the
+    /// paper polls every 50 µs; our transport also wakes on arrival, so this
+    /// bounds the check period rather than adding latency).
+    pub poll_interval: Duration,
+    /// Wall seconds slept per simulated second of compute. The workload's
+    /// task durations are still the simulated flops/speed model — this
+    /// scales them onto the wall clock so a multi-second simulated
+    /// factorization finishes in a test-friendly fraction of a second.
+    pub time_scale: f64,
+    /// Safety valve: the run fails with
+    /// [`RunError::WallTimeout`](crate::error::RunError) if the
+    /// factorization has not completed within this wall time.
+    pub wall_timeout: Duration,
+}
+
+impl ThreadedBackend {
+    /// §4.5 defaults: comm thread on, 50 µs poll period, time compressed
+    /// 50× (`time_scale` 0.02), 120 s safety valve.
+    pub fn new() -> Self {
+        ThreadedBackend {
+            comm_thread: true,
+            poll_interval: Duration::from_micros(50),
+            time_scale: 0.02,
+            wall_timeout: Duration::from_secs(120),
+        }
+    }
+
+    /// Builder-style: disable the dedicated communication thread (the
+    /// baseline the §4.5 comparison measures against).
+    pub fn without_comm_thread(mut self) -> Self {
+        self.comm_thread = false;
+        self
+    }
+
+    /// Builder-style: set the comm thread's poll interval.
+    pub fn with_poll_interval(mut self, p: Duration) -> Self {
+        self.poll_interval = p;
+        self
+    }
+
+    /// Builder-style: set the wall-per-simulated-second compression factor.
+    pub fn with_time_scale(mut self, s: f64) -> Self {
+        self.time_scale = s;
+        self
+    }
+
+    /// Builder-style: set the wall-clock safety valve.
+    pub fn with_wall_timeout(mut self, t: Duration) -> Self {
+        self.wall_timeout = t;
+        self
+    }
+}
+
+impl Default for ThreadedBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Which execution backend carries out the run.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub enum ExecBackend {
+    /// The discrete-event simulator: deterministic, instantaneous, models
+    /// network costs explicitly. The default.
+    #[default]
+    Sim,
+    /// One OS thread per process over a real channel transport; the §4.5
+    /// threaded variant runs an additional comm thread per process.
+    Threaded(ThreadedBackend),
+}
+
+impl ExecBackend {
+    /// Stable lowercase name (appears in [`RunReport::backend`]
+    /// (crate::report::RunReport::backend) and serialized reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecBackend::Sim => "sim",
+            ExecBackend::Threaded(_) => "threaded",
+        }
+    }
+}
+
 /// Full configuration of a factorization run.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct SolverConfig {
     /// Number of processes.
     pub nprocs: usize,
@@ -123,6 +220,9 @@ pub struct SolverConfig {
     /// Record per-process activity timelines (see
     /// [`RunReport::render_gantt`](crate::report::RunReport::render_gantt)).
     pub record_timeline: bool,
+    /// Which execution backend carries out the run: the discrete-event
+    /// simulator or real OS threads.
+    pub backend: ExecBackend,
 }
 
 impl SolverConfig {
@@ -155,7 +255,18 @@ impl SolverConfig {
             gossip_interval: SimDuration::from_millis(100),
             gossip_fanout: 2,
             record_timeline: false,
+            backend: ExecBackend::Sim,
         }
+    }
+
+    /// Like [`SolverConfig::new`], but validated: the one place a bad
+    /// process count can be rejected as a value instead of failing deep
+    /// inside the engine.
+    pub fn try_new(nprocs: usize) -> Result<Self, ConfigError> {
+        if nprocs == 0 {
+            return Err(ConfigError::ZeroProcs);
+        }
+        Ok(Self::new(nprocs))
     }
 
     /// Builder-style: set the mechanism.
@@ -174,6 +285,97 @@ impl SolverConfig {
     pub fn with_comm(mut self, c: CommMode) -> Self {
         self.comm = c;
         self
+    }
+
+    /// Builder-style: set the execution backend.
+    pub fn with_backend(mut self, b: ExecBackend) -> Self {
+        self.backend = b;
+        self
+    }
+
+    /// Check every range invariant the engine and the backends rely on.
+    /// [`Runtime::new`](crate::run::Runtime::new) calls this, so invalid
+    /// configurations are rejected before a run starts rather than panicking
+    /// mid-factorization.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.nprocs == 0 {
+            return Err(ConfigError::ZeroProcs);
+        }
+        if !(self.speed_flops.is_finite() && self.speed_flops > 0.0) {
+            return Err(ConfigError::BadSpeed(self.speed_flops));
+        }
+        if !self.speed_factors.is_empty() && self.speed_factors.len() != self.nprocs {
+            return Err(ConfigError::SpeedFactorsLen {
+                expected: self.nprocs,
+                got: self.speed_factors.len(),
+            });
+        }
+        for (proc, &value) in self.speed_factors.iter().enumerate() {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(ConfigError::BadSpeedFactor { proc, value });
+            }
+        }
+        if let Some(t) = &self.threshold {
+            let ok = |v: f64| v.is_finite() && v > 0.0;
+            if !ok(t.work) || !ok(t.mem) {
+                return Err(ConfigError::BadThreshold {
+                    work: t.work,
+                    mem: t.mem,
+                });
+            }
+        }
+        if self.kmin_rows == 0 || self.kmin_rows > self.kmax_rows {
+            return Err(ConfigError::BadRowBounds {
+                kmin: self.kmin_rows,
+                kmax: self.kmax_rows,
+            });
+        }
+        if self.type2_min_front > self.type3_min_front {
+            return Err(ConfigError::BadFrontBounds {
+                type2: self.type2_min_front,
+                type3: self.type3_min_front,
+            });
+        }
+        if !(self.mapping_alpha.is_finite() && self.mapping_alpha > 0.0) {
+            return Err(ConfigError::BadMappingAlpha(self.mapping_alpha));
+        }
+        if !(self.mem_relax.is_finite() && self.mem_relax > 0.0) {
+            return Err(ConfigError::BadMemRelax(self.mem_relax));
+        }
+        if let CommMode::CommThread { period } = self.comm {
+            if period == SimDuration::ZERO {
+                return Err(ConfigError::BadPollInterval);
+            }
+        }
+        match self.mechanism {
+            MechKind::Periodic if self.periodic_interval == SimDuration::ZERO => {
+                return Err(ConfigError::BadTimerPeriod);
+            }
+            MechKind::Gossip => {
+                if self.gossip_interval == SimDuration::ZERO {
+                    return Err(ConfigError::BadTimerPeriod);
+                }
+                if self.gossip_fanout == 0 {
+                    return Err(ConfigError::ZeroGossipFanout);
+                }
+            }
+            _ => {}
+        }
+        if self.snapshot_candidates == Some(0) {
+            return Err(ConfigError::ZeroSnapshotCandidates);
+        }
+        if let ExecBackend::Threaded(t) = &self.backend {
+            if t.poll_interval.is_zero() {
+                return Err(ConfigError::BadPollInterval);
+            }
+            if !(t.time_scale.is_finite() && t.time_scale > 0.0) {
+                return Err(ConfigError::BadTimeScale(t.time_scale));
+            }
+            if t.wall_timeout.is_zero() {
+                return Err(ConfigError::BadWallTimeout);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -195,9 +397,93 @@ mod tests {
         let c = SolverConfig::new(8)
             .with_mechanism(MechKind::Snapshot)
             .with_strategy(Strategy::MemoryBased)
-            .with_comm(CommMode::threaded_default());
+            .with_comm(CommMode::threaded_default())
+            .with_backend(ExecBackend::Threaded(ThreadedBackend::new()));
         assert_eq!(c.mechanism, MechKind::Snapshot);
         assert_eq!(c.strategy, Strategy::MemoryBased);
         assert!(matches!(c.comm, CommMode::CommThread { .. }));
+        assert_eq!(c.backend.name(), "threaded");
+    }
+
+    #[test]
+    fn defaults_validate() {
+        assert_eq!(SolverConfig::new(1).validate(), Ok(()));
+        assert_eq!(
+            SolverConfig::new(8)
+                .with_backend(ExecBackend::Threaded(ThreadedBackend::new()))
+                .validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_zero_procs() {
+        assert_eq!(SolverConfig::try_new(0), Err(ConfigError::ZeroProcs));
+        assert!(SolverConfig::try_new(1).is_ok());
+    }
+
+    #[test]
+    fn validate_catches_bad_ranges() {
+        let mut c = SolverConfig::new(4);
+        c.speed_flops = 0.0;
+        assert!(matches!(c.validate(), Err(ConfigError::BadSpeed(_))));
+
+        let mut c = SolverConfig::new(4);
+        c.speed_factors = vec![1.0, 2.0];
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::SpeedFactorsLen {
+                expected: 4,
+                got: 2
+            })
+        );
+
+        let mut c = SolverConfig::new(4);
+        c.speed_factors = vec![1.0, -0.5, 1.0, 1.0];
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadSpeedFactor { proc: 1, .. })
+        ));
+
+        let mut c = SolverConfig::new(4);
+        c.threshold = Some(Threshold::new(0.0, 10.0));
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadThreshold { .. })
+        ));
+
+        let mut c = SolverConfig::new(4);
+        c.kmin_rows = 500;
+        c.kmax_rows = 100;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadRowBounds { .. })
+        ));
+
+        let mut c = SolverConfig::new(4);
+        c.type2_min_front = 2000;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadFrontBounds { .. })
+        ));
+
+        let c = SolverConfig::new(4).with_comm(CommMode::CommThread {
+            period: SimDuration::ZERO,
+        });
+        assert_eq!(c.validate(), Err(ConfigError::BadPollInterval));
+
+        let mut c = SolverConfig::new(4);
+        c.snapshot_candidates = Some(0);
+        assert_eq!(c.validate(), Err(ConfigError::ZeroSnapshotCandidates));
+
+        let c = SolverConfig::new(4).with_backend(ExecBackend::Threaded(
+            ThreadedBackend::new().with_time_scale(0.0),
+        ));
+        assert!(matches!(c.validate(), Err(ConfigError::BadTimeScale(_))));
+
+        let c = SolverConfig::new(4).with_backend(ExecBackend::Threaded(
+            ThreadedBackend::new().with_poll_interval(Duration::ZERO),
+        ));
+        assert_eq!(c.validate(), Err(ConfigError::BadPollInterval));
     }
 }

@@ -25,17 +25,17 @@ use crate::config::{CommMode, SolverConfig};
 use crate::mapping::{NodeType, TreePlan};
 use crate::report::{Activity, ProcReport, RunReport, Timeline};
 use crate::sched;
+use crate::work::{self, Task, TaskKind};
 use loadex_core::{
-    AnyMechanism, ChangeOrigin, Gate, GossipMechanism, IncrementMechanism, Load, MechKind,
-    Mechanism, NaiveMechanism, Notify, OutMsg, Outbox, PeriodicMechanism, SnapshotMechanism,
-    StateMsg, Threshold,
+    AnyMechanism, ChangeOrigin, Gate, Load, MechKind, Mechanism, Notify, OutMsg, Outbox, StateMsg,
+    Threshold,
 };
 use loadex_net::{Channel, SimNetwork};
 use loadex_obs::{MetricsRegistry, ProtocolEvent, Recorder};
 use loadex_sim::{
     ActorId, Scheduler, SimDuration, SimTime, StatSet, TimeWeightedGauge, Welford, World,
 };
-use loadex_sparse::{AssemblyTree, Symmetry};
+use loadex_sparse::AssemblyTree;
 use std::collections::VecDeque;
 
 /// Application (regular channel) messages.
@@ -86,49 +86,6 @@ pub enum Ev {
     Probe,
     /// Dissemination timer of the periodic/gossip extension mechanisms.
     MechTimer,
-}
-
-/// What a local ready task is.
-#[derive(Clone, Copy, Debug, PartialEq)]
-enum TaskKind {
-    /// A collapsed leaf subtree.
-    Subtree,
-    /// A sequential Type 1 front.
-    Type1,
-    /// The pivot-block part of a Type 2 front (master side).
-    Type2Master,
-    /// A row block of a Type 2 front (slave side); memory already allocated
-    /// at message processing.
-    Type2Slave { rows: u32 },
-    /// Degenerate Type 2 with no slaves: the master factors the whole front.
-    Type2Whole,
-    /// A 1/P share of the Type 3 root.
-    RootPart,
-}
-
-impl TaskKind {
-    /// Stable name used as the `kind` of task events.
-    fn name(self) -> &'static str {
-        match self {
-            TaskKind::Subtree => "subtree",
-            TaskKind::Type1 => "type1",
-            TaskKind::Type2Master => "type2_master",
-            TaskKind::Type2Slave { .. } => "type2_slave",
-            TaskKind::Type2Whole => "type2_whole",
-            TaskKind::RootPart => "root_part",
-        }
-    }
-}
-
-#[derive(Clone, Copy, Debug)]
-struct Task {
-    kind: TaskKind,
-    node: u32,
-    /// Flops still to be computed (tasks run in chunks; message boundaries
-    /// occur between chunks).
-    remaining: f64,
-    /// Whether the start-of-task allocations already happened.
-    started: bool,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -225,7 +182,7 @@ pub struct SolverWorld {
 }
 
 impl SolverWorld {
-    /// Build the world. Use [`crate::run::run_experiment`] for the full
+    /// Build the world. Use [`crate::run::run`] for the full
     /// pipeline (it also seeds initial events).
     pub fn new(tree: AssemblyTree, plan: TreePlan, cfg: SolverConfig) -> Self {
         let nprocs = cfg.nprocs;
@@ -238,66 +195,11 @@ impl SolverWorld {
             cfg.speed_factors.iter().all(|&f| f > 0.0),
             "speed factors must be positive"
         );
-        let entry_factor = match tree.sym {
-            Symmetry::Symmetric => 0.5,
-            Symmetry::Unsymmetric => 1.0,
-        };
+        let entry_factor = work::entry_factor(tree.sym);
         let threshold = cfg.threshold.unwrap_or_else(|| default_threshold(&tree));
         let mut procs: Vec<ProcRt> = (0..nprocs)
             .map(|p| {
-                let me = ActorId(p);
-                let mech = match cfg.mechanism {
-                    MechKind::Naive => {
-                        let mut m = NaiveMechanism::new(me, nprocs, threshold);
-                        m.initialize(Load::work(plan.init_work[p]));
-                        AnyMechanism::Naive(m)
-                    }
-                    MechKind::Increments => {
-                        let mut m = IncrementMechanism::new(me, nprocs, threshold);
-                        m.initialize(Load::work(plan.init_work[p]));
-                        for q in 0..nprocs {
-                            if q != p {
-                                m.initialize_peer(ActorId(q), Load::work(plan.init_work[q]));
-                            }
-                        }
-                        AnyMechanism::Increments(m)
-                    }
-                    MechKind::Snapshot => {
-                        let mut m = SnapshotMechanism::with_policy(me, nprocs, cfg.leader_policy);
-                        m.initialize(Load::work(plan.init_work[p]));
-                        for q in 0..nprocs {
-                            if q != p {
-                                m.initialize_peer(ActorId(q), Load::work(plan.init_work[q]));
-                            }
-                        }
-                        AnyMechanism::Snapshot(m)
-                    }
-                    MechKind::Periodic => {
-                        let mut m = PeriodicMechanism::new(me, nprocs, cfg.periodic_interval);
-                        m.initialize(Load::work(plan.init_work[p]));
-                        for q in 0..nprocs {
-                            if q != p {
-                                m.initialize_peer(ActorId(q), Load::work(plan.init_work[q]));
-                            }
-                        }
-                        AnyMechanism::Periodic(m)
-                    }
-                    MechKind::Gossip => {
-                        let mut m = GossipMechanism::new(
-                            me,
-                            nprocs,
-                            cfg.gossip_interval,
-                            cfg.gossip_fanout,
-                        );
-                        m.initialize(Load::work(plan.init_work[p]));
-                        for q in 0..nprocs {
-                            if q != p {
-                                m.initialize_peer(ActorId(q), Load::work(plan.init_work[q]));
-                            }
-                        }
-                        AnyMechanism::Gossip(m)
-                    }
-                };
+                let mech = work::build_mechanism(&cfg, &plan, threshold, p);
                 ProcRt {
                     mech,
                     outbox: Outbox::new(),
@@ -413,31 +315,18 @@ impl SolverWorld {
     }
 
     fn task(&self, kind: TaskKind, node: u32, flops: f64) -> Task {
-        Task {
-            kind,
-            node,
-            remaining: flops,
-            started: false,
-        }
+        Task::new(kind, node, flops)
     }
 
     /// Flops per compute chunk (`f64::INFINITY` when chunking is disabled).
     fn chunk_flops(&self) -> f64 {
-        let c = self.cfg.task_chunk;
-        if c == SimDuration::ZERO {
-            f64::INFINITY
-        } else {
-            (self.cfg.speed_flops * c.as_secs_f64()).max(1.0)
-        }
+        work::chunk_flops(&self.cfg)
     }
 
     /// Compute speed of process `p` (heterogeneous platforms scale the base
     /// speed per process).
     fn speed_of(&self, p: usize) -> f64 {
-        match self.cfg.speed_factors.get(p) {
-            Some(&f) => self.cfg.speed_flops * f,
-            None => self.cfg.speed_flops,
-        }
+        work::speed_of(&self.cfg, p)
     }
 
     fn node_m(&self, node: u32) -> f64 {
@@ -454,18 +343,11 @@ impl SolverWorld {
 
     /// Master share of a Type 2 node's flops: the pivot-panel factorization.
     fn master_flops(&self, node: u32) -> f64 {
-        let m = self.node_m(node);
-        let p = self.node_p(node);
-        let c = m - p;
-        let total_lu = 2.0 / 3.0 * (m * m * m - c * c * c);
-        let master_lu = 2.0 / 3.0 * p * p * p + p * p * c;
-        self.tree.flops(node as usize) * (master_lu / total_lu).clamp(0.0, 1.0)
+        work::master_flops(&self.tree, node)
     }
 
     fn slave_flops_per_row(&self, node: u32) -> f64 {
-        let total = self.tree.flops(node as usize);
-        let ncb = self.node_ncb(node).max(1) as f64;
-        (total - self.master_flops(node)).max(0.0) / ncb
+        work::slave_flops_per_row(&self.tree, node)
     }
 
     fn set_mem(&mut self, p: usize, now: SimTime, delta: f64) {
@@ -1619,6 +1501,7 @@ impl SolverWorld {
             .gauges
             .insert("snapshot_max_concurrent".to_string(), self.snp_max as f64);
         RunReport {
+            backend: "sim",
             metrics,
             timelines: self.procs.iter().map(|p| p.timeline.clone()).collect(),
             view_err_time_work: self.coh_time_work,
@@ -1642,7 +1525,7 @@ impl SolverWorld {
 /// Threshold defaulting: §2.3 recommends "a threshold of the same order as
 /// the granularity of the tasks appearing in the slave selections". We use
 /// 2% of the mean Type-2-scale front cost.
-fn default_threshold(tree: &AssemblyTree) -> Threshold {
+pub(crate) fn default_threshold(tree: &AssemblyTree) -> Threshold {
     let n = tree.len().max(1) as f64;
     let mean_flops = tree.total_flops() / n;
     let mean_front = (0..tree.len()).map(|i| tree.front_entries(i)).sum::<f64>() / n;

@@ -24,16 +24,25 @@
 //! * [`report`] — everything the paper's tables measure: factorization time,
 //!   per-process active-memory peaks, state-message counts, decision counts,
 //!   snapshot time breakdowns.
-//! * [`run`] — one-call experiment entry point.
+//! * [`threaded`] — the real-thread execution backend: one OS thread per
+//!   process over `loadex_net::thread` endpoints, with the §4.5 dedicated
+//!   communication thread as an option.
+//! * [`run`] — the [`Runtime`] entry point dispatching between the two
+//!   backends, plus one-call wrappers.
 
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod mapping;
 pub mod report;
 pub mod run;
 pub mod sched;
+pub mod threaded;
+mod work;
 
-pub use config::{CommMode, SolverConfig, Strategy};
+pub use config::{CommMode, ExecBackend, SolverConfig, Strategy, ThreadedBackend};
+pub use error::{ConfigError, RunError};
 pub use mapping::{NodeType, TreePlan};
 pub use report::RunReport;
-pub use run::{run_experiment, run_experiment_observed};
+#[allow(deprecated)]
+pub use run::{run, run_experiment, run_experiment_observed, run_observed, Runtime};

@@ -49,6 +49,9 @@ pub struct ProcReport {
 /// Aggregate report of one factorization run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
+    /// Which execution backend produced the run (`"sim"` or `"threaded"`,
+    /// the [`ExecBackend::name`](crate::config::ExecBackend::name)).
+    pub backend: &'static str,
     /// Simulated factorization (makespan) time — Tables 5 and 7.
     pub factor_time: SimTime,
     /// Per-process details.
@@ -183,7 +186,8 @@ impl Serialize for RunReport {
     fn serialize_json(&self, out: &mut String) {
         let counters: std::collections::BTreeMap<&str, u64> = self.counters.iter().collect();
         let mut m = JsonMap::new(out);
-        m.field("factor_time_s", &self.seconds())
+        m.field("backend", &self.backend)
+            .field("factor_time_s", &self.seconds())
             .field("decisions", &self.decisions)
             .field("state_msgs", &self.state_msgs)
             .field("state_bytes", &self.state_bytes)
@@ -219,6 +223,7 @@ mod tests {
     #[test]
     fn peak_is_max_over_procs() {
         let r = RunReport {
+            backend: "sim",
             factor_time: SimTime(2_000_000_000),
             procs: vec![
                 ProcReport {
@@ -256,6 +261,7 @@ mod tests {
     #[test]
     fn empty_report_is_safe() {
         let r = RunReport {
+            backend: "sim",
             factor_time: SimTime::ZERO,
             procs: vec![],
             decisions: 0,

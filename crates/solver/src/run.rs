@@ -1,90 +1,170 @@
-//! One-call experiment entry point.
+//! Experiment entry points: the [`Runtime`] dispatcher and its one-call
+//! convenience wrappers.
+//!
+//! A [`Runtime`] validates a [`SolverConfig`] once, derives the static plan
+//! and broadcast threshold, then dispatches to the configured
+//! [`ExecBackend`]: the discrete-event simulator ([`ExecBackend::Sim`]) or
+//! the real-thread backend ([`ExecBackend::Threaded`], §4.5). Both produce
+//! the same [`RunReport`] schema, and both return typed [`RunError`]s
+//! instead of panicking.
 
-use crate::config::SolverConfig;
+use crate::config::{ExecBackend, SolverConfig};
 use crate::engine::{Ev, SolverWorld};
-use crate::mapping::{self, MappingParams};
+use crate::error::{ConfigError, RunError};
+use crate::mapping::{self, MappingParams, TreePlan};
 use crate::report::RunReport;
 use loadex_obs::Recorder;
 use loadex_sim::{ActorId, SimConfig, SimTime, Simulator, StopReason};
 use loadex_sparse::AssemblyTree;
 
-/// Run a full simulated factorization of `tree` under `cfg` and report the
-/// measurements. Panics if the simulation livelocks (event-limit safety
-/// valve) or deadlocks (calendar drained before completion).
+/// A validated, backend-dispatching experiment runner.
 ///
 /// ```
-/// use loadex_solver::{run_experiment, SolverConfig};
+/// use loadex_solver::{Runtime, SolverConfig};
 /// use loadex_core::MechKind;
 /// use loadex_sparse::models::by_name;
 ///
 /// let tree = by_name("TWOTONE").unwrap().build_tree();
 /// let cfg = SolverConfig::new(8).with_mechanism(MechKind::Increments);
-/// let report = run_experiment(&tree, &cfg);
+/// let report = Runtime::new(cfg)?.run(&tree)?;
 /// assert!(report.seconds() > 0.0);
 /// assert!(report.decisions > 0);
+/// assert_eq!(report.backend, "sim");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn run_experiment(tree: &AssemblyTree, cfg: &SolverConfig) -> RunReport {
-    run_experiment_observed(tree, cfg, Recorder::disabled())
+pub struct Runtime {
+    cfg: SolverConfig,
 }
 
-/// Like [`run_experiment`], but with an observability sink attached: when
-/// `recorder` is enabled, the full typed protocol-event stream of the run is
-/// captured in it (drain with [`Recorder::take`], export with
-/// `loadex_obs::jsonl` / `loadex_obs::chrome`) and the report's
-/// [`metrics`](RunReport::metrics) carry the latency, snapshot-duration and
-/// view-staleness histograms. With a disabled recorder this is exactly
-/// [`run_experiment`].
+impl Runtime {
+    /// Validate `cfg` and build a runner for it. All range errors surface
+    /// here, before any run starts.
+    pub fn new(cfg: SolverConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        Ok(Runtime { cfg })
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &SolverConfig {
+        &self.cfg
+    }
+
+    /// Run a full factorization of `tree` on the configured backend.
+    pub fn run(&self, tree: &AssemblyTree) -> Result<RunReport, RunError> {
+        self.run_observed(tree, Recorder::disabled())
+    }
+
+    /// Like [`Runtime::run`], but with an observability sink attached: when
+    /// `recorder` is enabled, the full typed protocol-event stream of the
+    /// run is captured in it (drain with [`Recorder::take`], export with
+    /// `loadex_obs::jsonl` / `loadex_obs::chrome`) and the report's
+    /// [`metrics`](RunReport::metrics) carry the latency, snapshot-duration
+    /// and view-staleness histograms. Threaded runs stamp events with
+    /// scaled wall time, so the same exporters apply to both backends.
+    pub fn run_observed(
+        &self,
+        tree: &AssemblyTree,
+        recorder: Recorder,
+    ) -> Result<RunReport, RunError> {
+        let plan = mapping::plan(
+            tree,
+            self.cfg.nprocs,
+            MappingParams {
+                alpha: self.cfg.mapping_alpha,
+                type2_min_front: self.cfg.type2_min_front,
+                kmin_rows: self.cfg.kmin_rows,
+                type3_min_front: self.cfg.type3_min_front,
+                speed_factors: self.cfg.speed_factors.clone(),
+            },
+        );
+        let mut cfg = self.cfg.clone();
+        if cfg.threshold.is_none() {
+            cfg.threshold = Some(derive_threshold(tree, &plan, &cfg));
+        }
+        match cfg.backend {
+            ExecBackend::Sim => run_sim(tree, plan, cfg, recorder),
+            ExecBackend::Threaded(t) => crate::threaded::run(tree, plan, cfg, t, recorder),
+        }
+    }
+}
+
+/// One-call form of [`Runtime::run`]: validate `cfg`, run `tree`, report.
+pub fn run(tree: &AssemblyTree, cfg: &SolverConfig) -> Result<RunReport, RunError> {
+    Runtime::new(cfg.clone())?.run(tree)
+}
+
+/// One-call form of [`Runtime::run_observed`].
+pub fn run_observed(
+    tree: &AssemblyTree,
+    cfg: &SolverConfig,
+    recorder: Recorder,
+) -> Result<RunReport, RunError> {
+    Runtime::new(cfg.clone())?.run_observed(tree, recorder)
+}
+
+/// Run a full simulated factorization of `tree` under `cfg` and report the
+/// measurements.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run` (or `Runtime::run`), which returns `Result<RunReport, RunError>` \
+            instead of panicking"
+)]
+pub fn run_experiment(tree: &AssemblyTree, cfg: &SolverConfig) -> RunReport {
+    run(tree, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Observed variant of [`run_experiment`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_observed` (or `Runtime::run_observed`), which returns \
+            `Result<RunReport, RunError>` instead of panicking"
+)]
 pub fn run_experiment_observed(
     tree: &AssemblyTree,
     cfg: &SolverConfig,
     recorder: Recorder,
 ) -> RunReport {
-    let plan = mapping::plan(
-        tree,
-        cfg.nprocs,
-        MappingParams {
-            alpha: cfg.mapping_alpha,
-            type2_min_front: cfg.type2_min_front,
-            kmin_rows: cfg.kmin_rows,
-            type3_min_front: cfg.type3_min_front,
-            speed_factors: cfg.speed_factors.clone(),
-        },
-    );
-    let mut cfg = cfg.clone();
-    if cfg.threshold.is_none() {
-        cfg.threshold = Some(derive_threshold(tree, &plan, &cfg));
-    }
+    run_observed(tree, cfg, recorder).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Drive the discrete-event backend to completion.
+fn run_sim(
+    tree: &AssemblyTree,
+    plan: TreePlan,
+    cfg: SolverConfig,
+    recorder: Recorder,
+) -> Result<RunReport, RunError> {
     let mut world = SolverWorld::new(tree.clone(), plan, cfg.clone());
     world.set_recorder(recorder);
+    // Generous livelock valve: proportional to the task count.
+    let max_events = 2_000 * (tree.len() as u64 + 64) * (cfg.nprocs as u64 + 4);
     let mut sim = Simulator::new(SimConfig {
-        // Generous livelock valve: proportional to the task count.
-        max_events: 2_000 * (tree.len() as u64 + 64) * (cfg.nprocs as u64 + 4),
+        max_events,
         ..Default::default()
     });
     for p in 0..cfg.nprocs {
         sim.schedule_at(SimTime::ZERO, ActorId(p), Ev::Kick);
     }
-    let reason = sim.run(&mut world);
-    match reason {
+    match sim.run(&mut world) {
         StopReason::Requested => {}
         StopReason::Drained => {
-            assert!(
-                world.is_done(),
-                "deadlock: calendar drained before factorization completed\n{}",
-                world.debug_dump()
-            );
+            if !world.is_done() {
+                return Err(RunError::Deadlock {
+                    detail: world.debug_dump(),
+                });
+            }
         }
-        StopReason::EventLimit => panic!("livelock: event limit exceeded"),
+        StopReason::EventLimit => return Err(RunError::Livelock { events: max_events }),
         StopReason::Horizon => unreachable!("no horizon configured"),
     }
-    world.report()
+    Ok(world.report())
 }
 
 /// §2.3: "it is consistent to choose a threshold of the same order as the
 /// granularity of the tasks appearing in the slave selections." We derive it
 /// from the mean Type 2 slave share (a quarter of it, so shares themselves
 /// always cross the threshold but the small-task noise does not).
-fn derive_threshold(
+pub(crate) fn derive_threshold(
     tree: &AssemblyTree,
     plan: &crate::mapping::TreePlan,
     cfg: &SolverConfig,
@@ -155,17 +235,18 @@ mod tests {
     #[test]
     fn completes_on_one_process() {
         let t = small_tree();
-        let r = run_experiment(&t, &cfg(1, MechKind::Increments));
+        let r = run(&t, &cfg(1, MechKind::Increments)).unwrap();
         assert!(r.factor_time > SimTime::ZERO);
         assert_eq!(r.decisions, 0, "no dynamic decisions with one process");
         assert_eq!(r.state_msgs, 0);
+        assert_eq!(r.backend, "sim");
     }
 
     #[test]
     fn completes_under_all_mechanisms() {
         let t = small_tree();
         for mech in [MechKind::Naive, MechKind::Increments, MechKind::Snapshot] {
-            let r = run_experiment(&t, &cfg(4, mech));
+            let r = run(&t, &cfg(4, mech)).unwrap();
             assert!(r.factor_time > SimTime::ZERO, "{mech}: no progress");
             assert!(r.procs.len() == 4);
             assert!(r.mem_peak_entries() > 0.0, "{mech}: no memory tracked");
@@ -177,7 +258,7 @@ mod tests {
         let t = small_tree();
         for strat in [Strategy::MemoryBased, Strategy::WorkloadBased] {
             let c = cfg(4, MechKind::Increments).with_strategy(strat);
-            let r = run_experiment(&t, &c);
+            let r = run(&t, &c).unwrap();
             assert!(
                 r.factor_time > SimTime::ZERO,
                 "{}: no progress",
@@ -187,11 +268,33 @@ mod tests {
     }
 
     #[test]
+    fn invalid_config_is_rejected_before_running() {
+        let t = small_tree();
+        let mut c = cfg(4, MechKind::Increments);
+        c.nprocs = 0;
+        assert!(matches!(
+            run(&t, &c),
+            Err(RunError::Config(ConfigError::ZeroProcs))
+        ));
+        assert!(Runtime::new(c).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_run() {
+        let t = small_tree();
+        let r = run_experiment(&t, &cfg(2, MechKind::Naive));
+        assert!(r.factor_time > SimTime::ZERO);
+        let r = run_experiment_observed(&t, &cfg(2, MechKind::Naive), Recorder::disabled());
+        assert!(r.factor_time > SimTime::ZERO);
+    }
+
+    #[test]
     fn threaded_mode_completes_and_speeds_up_snapshots() {
         let t = by_name("TWOTONE").unwrap().build_tree();
         let base = SolverConfig::new(8).with_mechanism(MechKind::Snapshot);
-        let single = run_experiment(&t, &base);
-        let threaded = run_experiment(&t, &base.clone().with_comm(CommMode::threaded_default()));
+        let single = run(&t, &base).unwrap();
+        let threaded = run(&t, &base.clone().with_comm(CommMode::threaded_default())).unwrap();
         assert!(single.factor_time > SimTime::ZERO);
         assert!(threaded.factor_time > SimTime::ZERO);
         // The whole point of §4.5: snapshots complete much faster when state
@@ -207,11 +310,12 @@ mod tests {
     #[test]
     fn snapshot_mechanism_counts_fewer_messages() {
         let t = by_name("TWOTONE").unwrap().build_tree();
-        let inc = run_experiment(
+        let inc = run(
             &t,
             &SolverConfig::new(8).with_mechanism(MechKind::Increments),
-        );
-        let snp = run_experiment(&t, &SolverConfig::new(8).with_mechanism(MechKind::Snapshot));
+        )
+        .unwrap();
+        let snp = run(&t, &SolverConfig::new(8).with_mechanism(MechKind::Snapshot)).unwrap();
         assert!(inc.decisions > 0);
         assert_eq!(inc.decisions, snp.decisions, "same static classification");
         assert!(
@@ -227,7 +331,7 @@ mod tests {
         let t = small_tree();
         let c = cfg(4, MechKind::Snapshot);
         let rec = Recorder::enabled();
-        let r = run_experiment_observed(&t, &c, rec.clone());
+        let r = run_observed(&t, &c, rec.clone()).unwrap();
         let events = rec.take();
         assert!(!events.is_empty(), "an observed run must emit events");
         // The metrics snapshot's per-mechanism totals are the MechStats sums.
@@ -269,7 +373,7 @@ mod tests {
             );
         }
         // Observation must not perturb the simulation itself.
-        let r2 = run_experiment(&t, &c);
+        let r2 = run(&t, &c).unwrap();
         assert_eq!(r2.factor_time, r.factor_time);
         assert_eq!(r2.state_msgs, r.state_msgs);
     }
@@ -278,8 +382,8 @@ mod tests {
     fn deterministic_runs() {
         let t = small_tree();
         let c = cfg(4, MechKind::Increments);
-        let a = run_experiment(&t, &c);
-        let b = run_experiment(&t, &c);
+        let a = run(&t, &c).unwrap();
+        let b = run(&t, &c).unwrap();
         assert_eq!(a.factor_time, b.factor_time);
         assert_eq!(a.state_msgs, b.state_msgs);
         assert_eq!(a.mem_peak_entries(), b.mem_peak_entries());
@@ -300,7 +404,7 @@ mod tests {
                 speed_factors: Vec::new(),
             },
         );
-        let r = run_experiment(&t, &c);
+        let r = run(&t, &c).unwrap();
         assert_eq!(r.decisions as usize, plan.n_decisions);
     }
 }

@@ -15,7 +15,7 @@
 use loadex::core::MechKind;
 use loadex::obs::span::{render_gantt, spans_from_events};
 use loadex::obs::{chrome, Recorder};
-use loadex::solver::{run_experiment_observed, SolverConfig};
+use loadex::solver::{run_observed, SolverConfig};
 use loadex::sparse::models::by_name;
 
 fn main() {
@@ -28,7 +28,7 @@ fn main() {
     for mech in [MechKind::Increments, MechKind::Snapshot] {
         let cfg = SolverConfig::new(nprocs).with_mechanism(mech);
         let rec = Recorder::enabled();
-        let r = run_experiment_observed(&tree, &cfg, rec.clone());
+        let r = run_observed(&tree, &cfg, rec.clone()).unwrap();
         let events = rec.take();
         println!(
             "== {} — {:.2} s, {} decisions, {} state messages, {} events ==",

@@ -10,7 +10,7 @@
 //! paper's mechanisms, printing the quantities the paper studies.
 
 use loadex::core::MechKind;
-use loadex::solver::{run_experiment, SolverConfig, Strategy};
+use loadex::solver::{run, SolverConfig, Strategy};
 use loadex::sparse::symbolic::{analyze_with_ordering, Ordering, SymbolicOptions};
 use loadex::sparse::{gen, Symmetry};
 
@@ -54,7 +54,7 @@ fn main() {
         cfg.type2_min_front = 100;
         cfg.type3_min_front = 400;
         cfg.kmin_rows = 16;
-        let report = run_experiment(tree, &cfg);
+        let report = run(tree, &cfg).unwrap();
         println!(
             "{:<12} {:>10.4} {:>12} {:>12.3} {:>10}",
             mech.name(),

@@ -7,7 +7,7 @@
 //! ```
 
 use loadex::core::MechKind;
-use loadex::solver::{run_experiment, CommMode, SolverConfig, Strategy};
+use loadex::solver::{run, CommMode, SolverConfig, Strategy};
 use loadex::sparse::etree::{column_counts, elimination_tree, factor_nnz};
 use loadex::sparse::order;
 use loadex::sparse::symbolic::{analyze_with_ordering, Ordering, SymbolicOptions};
@@ -74,7 +74,7 @@ fn main() {
                 cfg.type2_min_front = 100;
                 cfg.type3_min_front = 400;
                 cfg.kmin_rows = 16;
-                let r = run_experiment(&tree, &cfg);
+                let r = run(&tree, &cfg).unwrap();
                 println!(
                     "{:<12} {:<14} {:<10} {:>9.4} {:>11} {:>9.3} {:>7.0}%",
                     mech.name(),

@@ -12,6 +12,11 @@ build:
 test:
     cargo test --workspace --offline -q
 
+# The real-thread execution backend suite alone (bounded thread counts,
+# timeout-guarded).
+test-threaded:
+    timeout 300 cargo test --offline --test threaded_backend -q
+
 # Lints as errors.
 clippy:
     cargo clippy --workspace --offline -- -D warnings

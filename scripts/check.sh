@@ -11,6 +11,12 @@ run() {
 
 run cargo build --workspace --release --offline
 run cargo test --workspace --offline -q
+# Dedicated threaded-backend pass: real OS threads (the suite bounds itself
+# to <= 4 processes per run), wrapped in a hard timeout so a protocol
+# deadlock fails the gate quickly instead of hanging it. The per-run
+# wall-timeout valve inside the backend turns most hangs into typed errors
+# already; this is the backstop.
+run timeout 300 cargo test --offline --test threaded_backend -q
 run cargo clippy --workspace --offline -- -D warnings
 run cargo fmt --check
 

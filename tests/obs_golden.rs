@@ -5,7 +5,7 @@
 
 use loadex::core::MechKind;
 use loadex::obs::{chrome, jsonl, Recorder};
-use loadex::solver::{run_experiment_observed, RunReport, SolverConfig};
+use loadex::solver::{run_observed, RunReport, SolverConfig};
 use loadex::sparse::{gen, symbolic, AssemblyTree, Symmetry};
 use serde::Serialize;
 
@@ -32,7 +32,7 @@ fn cfg() -> SolverConfig {
 
 fn observed_run(tree: &AssemblyTree, c: &SolverConfig) -> (RunReport, String, String) {
     let rec = Recorder::enabled();
-    let r = run_experiment_observed(tree, c, rec.clone());
+    let r = run_observed(tree, c, rec.clone()).unwrap();
     let events = rec.take();
     assert!(!events.is_empty());
     (r, jsonl::to_string(&events), chrome::to_string(&events))
@@ -100,7 +100,7 @@ fn disabled_recorder_changes_nothing() {
     let tree = small_tree();
     let c = cfg();
     let (r_obs, _, _) = observed_run(&tree, &c);
-    let r_plain = run_experiment_observed(&tree, &c, Recorder::disabled());
+    let r_plain = run_observed(&tree, &c, Recorder::disabled()).unwrap();
     assert_eq!(r_plain.factor_time, r_obs.factor_time);
     assert_eq!(r_plain.state_msgs, r_obs.state_msgs);
     assert_eq!(r_plain.decisions, r_obs.decisions);

@@ -4,7 +4,7 @@
 
 use loadex::core::MechKind;
 use loadex::sim::SimDuration;
-use loadex::solver::{run_experiment, CommMode, SolverConfig, Strategy};
+use loadex::solver::{run, CommMode, SolverConfig, Strategy};
 use loadex::sparse::symbolic::{analyze_with_ordering, Ordering, SymbolicOptions};
 use loadex::sparse::{gen, Symmetry};
 use proptest::prelude::*;
@@ -52,7 +52,7 @@ proptest! {
         cfg.periodic_interval = SimDuration::from_micros(200);
         cfg.gossip_interval = SimDuration::from_micros(200);
 
-        let r = run_experiment(&tree, &cfg);
+        let r = run(&tree, &cfg).unwrap();
         prop_assert!(r.factor_time.as_nanos() > 0);
         prop_assert!(r.efficiency() > 0.0 && r.efficiency() <= 1.0 + 1e-9);
         for (p, proc) in r.procs.iter().enumerate() {
@@ -66,7 +66,7 @@ proptest! {
             prop_assert_eq!(r.state_msgs, 0);
         }
         // Determinism under the exact same configuration.
-        let r2 = run_experiment(&tree, &cfg);
+        let r2 = run(&tree, &cfg).unwrap();
         prop_assert_eq!(r.factor_time, r2.factor_time);
         prop_assert_eq!(r.state_msgs, r2.state_msgs);
     }

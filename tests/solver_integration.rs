@@ -4,7 +4,7 @@
 
 use loadex::core::MechKind;
 use loadex::solver::mapping::{plan, MappingParams};
-use loadex::solver::{run_experiment, CommMode, SolverConfig, Strategy};
+use loadex::solver::{run, CommMode, SolverConfig, Strategy};
 use loadex::sparse::symbolic::{analyze_with_ordering, Ordering, SymbolicOptions};
 use loadex::sparse::{gen, AssemblyTree, Symmetry};
 
@@ -38,7 +38,7 @@ fn full_matrix_of_configurations_completes() {
                     .with_mechanism(mech)
                     .with_strategy(strat)
                     .with_comm(comm);
-                let r = run_experiment(&tree, &cfg);
+                let r = run(&tree, &cfg).unwrap();
                 assert!(
                     r.factor_time.as_nanos() > 0,
                     "{mech}/{}/{comm:?}: no progress",
@@ -58,7 +58,7 @@ fn full_matrix_of_configurations_completes() {
 fn all_active_memory_is_released_at_the_end() {
     let tree = grid_tree(20);
     for mech in MechKind::ALL {
-        let r = run_experiment(&tree, &small_cfg(4).with_mechanism(mech));
+        let r = run(&tree, &small_cfg(4).with_mechanism(mech)).unwrap();
         for (p, proc) in r.procs.iter().enumerate() {
             assert!(
                 proc.mem_final_entries.abs() < 1e-6,
@@ -89,7 +89,7 @@ fn decision_count_is_mechanism_independent() {
     .n_decisions as u64;
     assert!(expected > 0, "test needs parallel tasks");
     for mech in MechKind::ALL {
-        let r = run_experiment(&tree, &cfg.clone().with_mechanism(mech));
+        let r = run(&tree, &cfg.clone().with_mechanism(mech)).unwrap();
         assert_eq!(r.decisions, expected, "{mech}");
     }
 }
@@ -99,8 +99,8 @@ fn runs_are_bit_deterministic() {
     let tree = grid_tree(20);
     for mech in MechKind::ALL {
         let cfg = small_cfg(5).with_mechanism(mech);
-        let a = run_experiment(&tree, &cfg);
-        let b = run_experiment(&tree, &cfg);
+        let a = run(&tree, &cfg).unwrap();
+        let b = run(&tree, &cfg).unwrap();
         assert_eq!(a.factor_time, b.factor_time, "{mech}");
         assert_eq!(a.state_msgs, b.state_msgs, "{mech}");
         assert_eq!(a.app_msgs, b.app_msgs, "{mech}");
@@ -113,7 +113,7 @@ fn runs_are_bit_deterministic() {
 fn single_process_degenerates_gracefully() {
     let tree = grid_tree(16);
     for mech in MechKind::ALL {
-        let r = run_experiment(&tree, &small_cfg(1).with_mechanism(mech));
+        let r = run(&tree, &small_cfg(1).with_mechanism(mech)).unwrap();
         assert_eq!(r.state_msgs, 0, "{mech}: nobody to talk to");
         assert_eq!(r.decisions, 0, "{mech}: no parallel tasks");
         assert!(r.factor_time.as_nanos() > 0);
@@ -123,7 +123,7 @@ fn single_process_degenerates_gracefully() {
 #[test]
 fn snapshot_mechanism_blocks_and_accounts_time() {
     let tree = grid_tree(28);
-    let r = run_experiment(&tree, &small_cfg(6).with_mechanism(MechKind::Snapshot));
+    let r = run(&tree, &small_cfg(6).with_mechanism(MechKind::Snapshot)).unwrap();
     assert!(r.decisions > 0);
     assert!(
         r.snapshot_union_time.as_nanos() > 0,
@@ -132,7 +132,7 @@ fn snapshot_mechanism_blocks_and_accounts_time() {
     assert!(r.snapshots_started >= r.decisions);
     assert!(r.snapshot_max_concurrent >= 1);
     // Maintained-view mechanisms never block.
-    let r2 = run_experiment(&tree, &small_cfg(6).with_mechanism(MechKind::Increments));
+    let r2 = run(&tree, &small_cfg(6).with_mechanism(MechKind::Increments)).unwrap();
     assert_eq!(r2.snapshot_union_time.as_nanos(), 0);
     assert_eq!(r2.snapshot_max_concurrent, 0);
 }
@@ -140,8 +140,8 @@ fn snapshot_mechanism_blocks_and_accounts_time() {
 #[test]
 fn snapshot_sends_fewer_messages_than_increments() {
     let tree = grid_tree(28);
-    let inc = run_experiment(&tree, &small_cfg(8).with_mechanism(MechKind::Increments));
-    let snp = run_experiment(&tree, &small_cfg(8).with_mechanism(MechKind::Snapshot));
+    let inc = run(&tree, &small_cfg(8).with_mechanism(MechKind::Increments)).unwrap();
+    let snp = run(&tree, &small_cfg(8).with_mechanism(MechKind::Snapshot)).unwrap();
     assert!(
         snp.state_msgs < inc.state_msgs,
         "snapshot {} !< increments {}",
@@ -158,8 +158,8 @@ fn threading_reduces_snapshot_time() {
     let tree = grid_tree(28);
     let mut base = small_cfg(6).with_mechanism(MechKind::Snapshot);
     base.speed_flops = 1.0e6;
-    let single = run_experiment(&tree, &base);
-    let threaded = run_experiment(&tree, &base.clone().with_comm(CommMode::threaded_default()));
+    let single = run(&tree, &base).unwrap();
+    let threaded = run(&tree, &base.clone().with_comm(CommMode::threaded_default())).unwrap();
     assert!(
         threaded.snapshot_union_time <= single.snapshot_union_time,
         "threaded union {} > single {}",
@@ -178,7 +178,7 @@ fn more_processes_do_not_lose_work() {
     let total_flops = tree.total_flops();
     for np in [1usize, 2, 4, 8] {
         let cfg = small_cfg(np);
-        let r = run_experiment(&tree, &cfg);
+        let r = run(&tree, &cfg).unwrap();
         let busy: f64 = r.procs.iter().map(|p| p.busy.as_secs_f64()).sum();
         let expected = total_flops / cfg.speed_flops;
         assert!(
@@ -195,7 +195,7 @@ fn disabled_chunking_still_completes() {
     for mech in MechKind::ALL {
         let mut cfg = small_cfg(4).with_mechanism(mech);
         cfg.task_chunk = SimDuration::ZERO;
-        let r = run_experiment(&tree, &cfg);
+        let r = run(&tree, &cfg).unwrap();
         assert!(r.factor_time.as_nanos() > 0, "{mech}");
     }
 }
@@ -203,10 +203,10 @@ fn disabled_chunking_still_completes() {
 #[test]
 fn no_more_master_reduces_traffic() {
     let tree = grid_tree(28);
-    let with = run_experiment(&tree, &small_cfg(8));
+    let with = run(&tree, &small_cfg(8)).unwrap();
     let mut cfg = small_cfg(8);
     cfg.no_more_master = false;
-    let without = run_experiment(&tree, &cfg);
+    let without = run(&tree, &cfg).unwrap();
     assert!(
         with.state_msgs < without.state_msgs,
         "NoMoreMaster must cut messages: {} !< {}",
@@ -223,7 +223,7 @@ fn extension_mechanisms_complete_and_disseminate() {
         let mut cfg = small_cfg(6).with_mechanism(mech);
         cfg.periodic_interval = SimDuration::from_micros(200);
         cfg.gossip_interval = SimDuration::from_micros(200);
-        let r = run_experiment(&tree, &cfg);
+        let r = run(&tree, &cfg).unwrap();
         assert!(r.factor_time.as_nanos() > 0, "{mech}");
         assert!(r.state_msgs > 0, "{mech}: timers must produce traffic");
         for (p, proc) in r.procs.iter().enumerate() {
@@ -244,8 +244,8 @@ fn gossip_uses_fewer_messages_than_naive_per_round() {
     let mut gossip_cfg = small_cfg(8).with_mechanism(MechKind::Gossip);
     gossip_cfg.gossip_interval = SimDuration::from_micros(500);
     gossip_cfg.gossip_fanout = 2;
-    let p = run_experiment(&tree, &naive_cfg);
-    let g = run_experiment(&tree, &gossip_cfg);
+    let p = run(&tree, &naive_cfg).unwrap();
+    let g = run(&tree, &gossip_cfg).unwrap();
     // Periodic broadcasts to N-1 = 7 peers when active; gossip to 2 always.
     // Gossip messages are larger but fewer per unit time under churn.
     assert!(p.factor_time.as_nanos() > 0 && g.factor_time.as_nanos() > 0);
@@ -255,10 +255,10 @@ fn gossip_uses_fewer_messages_than_naive_per_round() {
 #[test]
 fn partial_snapshots_cut_traffic_at_engine_level() {
     let tree = grid_tree(28);
-    let full = run_experiment(&tree, &small_cfg(8).with_mechanism(MechKind::Snapshot));
+    let full = run(&tree, &small_cfg(8).with_mechanism(MechKind::Snapshot)).unwrap();
     let mut cfg = small_cfg(8).with_mechanism(MechKind::Snapshot);
     cfg.snapshot_candidates = Some(3);
-    let partial = run_experiment(&tree, &cfg);
+    let partial = run(&tree, &cfg).unwrap();
     assert!(partial.factor_time.as_nanos() > 0);
     assert_eq!(partial.decisions, full.decisions);
     assert!(
@@ -279,7 +279,7 @@ fn leader_policy_changes_behavior_not_correctness() {
     for policy in [LeaderPolicy::MinRank, LeaderPolicy::MaxRank] {
         let mut cfg = small_cfg(6).with_mechanism(MechKind::Snapshot);
         cfg.leader_policy = policy;
-        let r = run_experiment(&tree, &cfg);
+        let r = run(&tree, &cfg).unwrap();
         assert!(r.factor_time.as_nanos() > 0, "{policy:?}");
         assert!(r.decisions > 0);
     }
@@ -291,7 +291,7 @@ fn coherence_probe_collects_samples() {
     let tree = grid_tree(24);
     let mut cfg = small_cfg(4);
     cfg.coherence_probe = Some(SimDuration::from_micros(100));
-    let r = run_experiment(&tree, &cfg);
+    let r = run(&tree, &cfg).unwrap();
     assert!(r.view_err_time_work.count() > 0, "probe must sample");
     assert!(
         r.view_err_decision_work.count() > 0,
@@ -299,7 +299,7 @@ fn coherence_probe_collects_samples() {
     );
     assert!(r.view_err_time_work.mean() >= 0.0);
     // Without the probe, only decision samples appear.
-    let r2 = run_experiment(&tree, &small_cfg(4));
+    let r2 = run(&tree, &small_cfg(4)).unwrap();
     assert_eq!(r2.view_err_time_work.count(), 0);
     assert!(r2.view_err_decision_work.count() > 0);
 }
@@ -314,7 +314,7 @@ fn snapshot_decision_views_are_most_accurate() {
     for mech in MechKind::ALL {
         let mut cfg = small_cfg(8).with_mechanism(mech);
         cfg.coherence_probe = Some(SimDuration::from_millis(1));
-        let r = run_experiment(&tree, &cfg);
+        let r = run(&tree, &cfg).unwrap();
         errs.push((mech, r.view_err_decision_work.mean()));
     }
     let get = |k: MechKind| errs.iter().find(|(m, _)| *m == k).unwrap().1;
@@ -331,7 +331,7 @@ fn timeline_records_and_renders() {
     let tree = grid_tree(24);
     let mut cfg = small_cfg(4).with_mechanism(MechKind::Snapshot);
     cfg.record_timeline = true;
-    let r = run_experiment(&tree, &cfg);
+    let r = run(&tree, &cfg).unwrap();
     assert_eq!(r.timelines.len(), 4);
     assert!(r.timelines.iter().all(|t| !t.is_empty()));
     // Transitions are time-ordered.
@@ -345,17 +345,17 @@ fn timeline_records_and_renders() {
     assert!(g.contains('#'), "someone must compute:\n{g}");
     assert!(g.contains('S'), "snapshot blocking must appear:\n{g}");
     // Recording off → placeholder.
-    let r2 = run_experiment(&tree, &small_cfg(4));
+    let r2 = run(&tree, &small_cfg(4)).unwrap();
     assert!(r2.render_gantt(40).contains("disabled"));
 }
 
 #[test]
 fn heterogeneous_speeds_slow_the_makespan_but_stay_correct() {
     let tree = grid_tree(28);
-    let homo = run_experiment(&tree, &small_cfg(6));
+    let homo = run(&tree, &small_cfg(6)).unwrap();
     let mut cfg = small_cfg(6);
     cfg.speed_factors = vec![1.0, 0.25, 1.0, 0.25, 1.0, 0.25];
-    let hetero = run_experiment(&tree, &cfg);
+    let hetero = run(&tree, &cfg).unwrap();
     assert!(
         hetero.factor_time > homo.factor_time,
         "slow processors must cost time: {} !> {}",
