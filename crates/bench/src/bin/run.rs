@@ -6,7 +6,8 @@
 //!     [--poll-us N] [--time-scale X] [--wall-timeout-s N] \
 //!     [--partial K] [--no-nomaster] [--chunk-ms N] \
 //!     [--latency-us N] [--probe] \
-//!     [--trace-out FILE] [--metrics-out FILE] [--events-out FILE]
+//!     [--trace-out FILE] [--metrics-out FILE] [--events-out FILE] \
+//!     [--accuracy-out FILE] [--audit]
 //! ```
 //!
 //! `--backend threaded` executes on real OS threads (one per process) instead
@@ -19,10 +20,16 @@
 //! respectively, a Chrome `trace_event` JSON (open in `chrome://tracing` or
 //! <https://ui.perfetto.dev>), the full run report + metrics registry as
 //! JSON, and the raw protocol-event stream as JSONL.
+//!
+//! `--accuracy-out` attaches the view-accuracy probe (ground-truth vs.
+//! believed views, staleness, decision regret) and writes its report as
+//! JSON. `--audit` records the protocol-event stream and checks it against
+//! the strict protocol invariants (`loadex_obs::ProtocolAuditor`); any
+//! violation is printed and fails the run with a non-zero exit status.
 
 use loadex_bench::config_for;
 use loadex_core::MechKind;
-use loadex_obs::{chrome, jsonl, Recorder};
+use loadex_obs::{chrome, jsonl, ProtocolAuditor, Recorder};
 use loadex_sim::SimDuration;
 use loadex_solver::{run_observed, CommMode, ExecBackend, Strategy, ThreadedBackend};
 use loadex_sparse::models::by_name;
@@ -48,6 +55,8 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut events_out: Option<String> = None;
+    let mut accuracy_out: Option<String> = None;
+    let mut audit = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -109,6 +118,8 @@ fn main() {
             "--trace-out" => trace_out = Some(next()),
             "--metrics-out" => metrics_out = Some(next()),
             "--events-out" => events_out = Some(next()),
+            "--accuracy-out" => accuracy_out = Some(next()),
+            "--audit" => audit = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: run --matrix NAME --procs N --mech {{naive|increments|snapshot|periodic|gossip}} \
@@ -116,7 +127,8 @@ fn main() {
                      [--no-comm-thread] [--poll-us N] [--time-scale X] [--wall-timeout-s N] \
                      [--partial K] [--no-nomaster] \
                      [--chunk-ms N] [--latency-us N] [--probe] \
-                     [--trace-out FILE] [--metrics-out FILE] [--events-out FILE]"
+                     [--trace-out FILE] [--metrics-out FILE] [--events-out FILE] \
+                     [--accuracy-out FILE] [--audit]"
                 );
                 return;
             }
@@ -168,6 +180,13 @@ fn main() {
     if probe {
         cfg.coherence_probe = Some(SimDuration::from_millis(500));
     }
+    if accuracy_out.is_some() {
+        cfg = cfg.with_accuracy(true);
+        // The probe samples its time series on the coherence tick.
+        if cfg.coherence_probe.is_none() {
+            cfg.coherence_probe = Some(SimDuration::from_millis(500));
+        }
+    }
 
     let tree = model.build_tree();
     eprintln!(
@@ -191,7 +210,7 @@ fn main() {
     );
     // Attach the observability layer only when some output asks for events;
     // a disabled recorder keeps the run on the zero-cost path.
-    let observe = trace_out.is_some() || metrics_out.is_some() || events_out.is_some();
+    let observe = trace_out.is_some() || metrics_out.is_some() || events_out.is_some() || audit;
     let rec = if observe {
         Recorder::enabled()
     } else {
@@ -228,6 +247,29 @@ fn main() {
     if let Some(path) = &metrics_out {
         write(path, "run metrics", r.to_json());
     }
+    if let Some(path) = &accuracy_out {
+        let acc = r.accuracy.as_ref().expect("accuracy was enabled");
+        write(path, "accuracy report", acc.to_json());
+    }
+    let audit_failed = if audit {
+        let report = ProtocolAuditor::strict().audit(&events);
+        if report.is_clean() {
+            eprintln!("audit: {} events, 0 violations (strict)", report.events);
+            false
+        } else {
+            for v in &report.violations {
+                eprintln!("audit violation: {v}");
+            }
+            eprintln!(
+                "audit: {} events, {} violations (strict)",
+                report.events,
+                report.violations.len()
+            );
+            true
+        }
+    } else {
+        false
+    };
 
     println!("backend            : {}", r.backend);
     println!("factorization time : {:.2} s", r.seconds());
@@ -260,4 +302,18 @@ fn main() {
         r.view_err_decision_work.mean(),
         r.view_err_decision_work.max()
     );
+    if let Some(acc) = &r.accuracy {
+        let s = &acc.summary;
+        println!(
+            "view accuracy      : mean {:.3e} / max {:.3e} work units, staleness {:.3} s mean",
+            s.mean_abs_err_work, s.max_abs_err_work, s.mean_staleness_s
+        );
+        println!(
+            "decision regret    : {} / {} decisions, gap mean {:.3e} / max {:.3e}",
+            s.regrets, s.decisions, s.mean_regret_gap, s.max_regret_gap
+        );
+    }
+    if audit_failed {
+        std::process::exit(1);
+    }
 }

@@ -5,6 +5,7 @@
 //! tables --table 3        # one table
 //! tables --figure 1       # one figure
 //! tables --ablations      # NoMoreMaster / latency / threshold ablations
+//! tables --accuracy       # just the accuracy-vs-message-cost table
 //! tables --quick          # reduced processor counts (smoke test)
 //! ```
 
@@ -17,12 +18,14 @@ fn main() {
     let mut all = args.is_empty();
     let mut quick = false;
     let mut ablations = false;
+    let mut accuracy = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--all" => all = true,
             "--quick" => quick = true,
             "--ablations" => ablations = true,
+            "--accuracy" => accuracy = true,
             "--table" => {
                 which_table = it.next().and_then(|v| v.parse().ok());
             }
@@ -31,7 +34,9 @@ fn main() {
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: tables [--all] [--quick] [--ablations] [--table N] [--figure N]");
+                eprintln!(
+                    "usage: tables [--all] [--quick] [--ablations] [--accuracy] [--table N] [--figure N]"
+                );
                 std::process::exit(2);
             }
         }
@@ -80,12 +85,17 @@ fn main() {
     if wantf(2) {
         println!("{}", bench::figure2().render());
     }
+    if accuracy && !(ablations || all) {
+        let np = if quick { 16 } else { 64 };
+        println!("{}", bench::accuracy_vs_cost(np, &large[0]).render());
+    }
     if ablations || all {
         let np = if quick { 16 } else { 64 };
         println!("{}", bench::ablation_nomaster(np, &large).render());
         println!("{}", bench::ablation_latency(np, &large[..1]).render());
         println!("{}", bench::ablation_threshold(np, &large[0]).render());
         println!("{}", bench::ablation_coherence(np, &large[0]).render());
+        println!("{}", bench::accuracy_vs_cost(np, &large[0]).render());
         println!("{}", bench::ablation_leader(np, &large[0]).render());
         println!(
             "{}",

@@ -501,6 +501,53 @@ pub fn ablation_coherence(nprocs: usize, model: &MatrixModel) -> Table {
     t
 }
 
+/// Extension experiment: **accuracy vs. message cost**. For each of the
+/// paper's three mechanisms, run with the [`ViewAccuracyProbe`] attached and
+/// tabulate the time-weighted view error, the information staleness, and the
+/// decision regret (selections that the ground-truth view would have made
+/// differently) against the state-message traffic that bought them. This is
+/// the quantitative form of the paper's central trade-off: the snapshot
+/// mechanism pays more per decision but decides on exact views (§3), the
+/// increment mechanism is cheap but stale between thresholds (§2.2), and the
+/// naive mechanism floods without ever being sharp (§2.1).
+///
+/// [`ViewAccuracyProbe`]: loadex_obs::ViewAccuracyProbe
+pub fn accuracy_vs_cost(nprocs: usize, model: &MatrixModel) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Extension: accuracy vs. message cost, {} on {nprocs} procs",
+            model.name
+        ),
+        &[
+            "mechanism",
+            "err-mean",
+            "err-max",
+            "stale-mean (s)",
+            "decisions",
+            "regrets",
+            "gap-mean",
+            "msgs",
+        ],
+    );
+    let tree = model.build_tree();
+    for mech in MechKind::ALL {
+        let cfg = config_for(nprocs).with_mechanism(mech).with_accuracy(true);
+        let r = run(&tree, &cfg).unwrap();
+        let s = r.accuracy.as_ref().expect("accuracy was enabled").summary;
+        t.row(vec![
+            mech.name().to_string(),
+            format!("{:.3e}", s.mean_abs_err_work),
+            format!("{:.3e}", s.max_abs_err_work),
+            f(s.mean_staleness_s),
+            s.decisions.to_string(),
+            s.regrets.to_string(),
+            format!("{:.3e}", s.mean_regret_gap),
+            r.state_msgs.to_string(),
+        ]);
+    }
+    t
+}
+
 /// §5 perspective: the leader-election criterion. The paper conjectures it
 /// "probably \[has\] a significant impact on the overall behaviour"; here we
 /// compare min-rank (the paper's) against max-rank election.
@@ -821,6 +868,24 @@ mod tests {
             .collect();
         let t = table4(8, &ms);
         assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    fn quick_accuracy_vs_cost_snapshot_has_least_regret() {
+        let ms: Vec<MatrixModel> = small_set()
+            .into_iter()
+            .filter(|m| m.name == "TWOTONE")
+            .collect();
+        let t = accuracy_vs_cost(8, &ms[0]);
+        assert_eq!(t.rows.len(), 3, "one row per mechanism");
+        let regret = |name: &str| -> u64 {
+            let row = t.rows.iter().find(|r| r[0] == name).unwrap();
+            row[5].parse().unwrap()
+        };
+        // §3's selling point, measured: deciding on an exact snapshot view
+        // never regrets more than deciding on a stale broadcast view.
+        assert!(regret("snapshot") <= regret("increments"));
+        assert!(regret("snapshot") <= regret("naive"));
     }
 
     #[test]

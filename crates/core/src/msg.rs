@@ -86,6 +86,36 @@ impl StateMsg {
         }
     }
 
+    /// The processes whose load this message informs the receiver (`me`)
+    /// about, given the sender `from` — the "subjects" a view-accuracy probe
+    /// should refresh when `me` consumes the message.
+    ///
+    /// Load-carrying messages about the sender itself (`Update`,
+    /// `UpdateDelta`, `Snp`) refresh the pair `(me, from)`; a `MasterToAll`
+    /// reservation refreshes `me`'s view of every assigned slave; a
+    /// `MasterToSlave` share updates the receiver's **own** state (not a
+    /// peer view); gossip digests refresh every entry's process. Pure
+    /// control messages carry no load information.
+    pub fn subjects(&self, from: ActorId, me: ActorId) -> Vec<ActorId> {
+        match self {
+            StateMsg::Update { .. } | StateMsg::UpdateDelta { .. } | StateMsg::Snp { .. } => {
+                vec![from]
+            }
+            StateMsg::MasterToAll { assignments } => assignments
+                .iter()
+                .map(|(slave, _)| *slave)
+                .filter(|slave| *slave != me)
+                .collect(),
+            StateMsg::Gossip { entries } => entries
+                .iter()
+                .map(|(p, _, _)| *p)
+                .filter(|p| *p != me)
+                .collect(),
+            StateMsg::MasterToSlave { .. } => vec![me],
+            StateMsg::NoMoreMaster | StateMsg::StartSnp { .. } | StateMsg::EndSnp => Vec::new(),
+        }
+    }
+
     /// Short static name for statistics.
     pub fn kind_name(&self) -> &'static str {
         match self {
@@ -129,6 +159,27 @@ mod tests {
             ],
         };
         assert!(three.wire_size() > one.wire_size());
+    }
+
+    #[test]
+    fn subjects_name_the_processes_a_message_informs_about() {
+        let from = ActorId(2);
+        let me = ActorId(0);
+        assert_eq!(
+            StateMsg::Update { load: Load::ZERO }.subjects(from, me),
+            vec![from]
+        );
+        assert_eq!(
+            StateMsg::UpdateDelta { delta: Load::ZERO }.subjects(from, me),
+            vec![from]
+        );
+        let m2a = StateMsg::MasterToAll {
+            assignments: vec![(ActorId(0), Load::ZERO), (ActorId(3), Load::ZERO)],
+        };
+        // The receiver's own entry is excluded.
+        assert_eq!(m2a.subjects(from, me), vec![ActorId(3)]);
+        assert!(StateMsg::EndSnp.subjects(from, me).is_empty());
+        assert!(StateMsg::NoMoreMaster.subjects(from, me).is_empty());
     }
 
     #[test]

@@ -18,9 +18,16 @@
 //!   `chrome://tracing` or <https://ui.perfetto.dev>).
 //! * [`span`] — per-process Busy/Blocked/Idle spans reconstructed from the
 //!   event stream, plus the ASCII Gantt renderer used by `examples/gantt.rs`.
+//! * [`ViewAccuracyProbe`] — ground truth vs. believed `LoadTable`s:
+//!   time-weighted view error, staleness, and decision-regret accounting
+//!   (the paper's missing "quality" axis; see DESIGN.md).
+//! * [`ProtocolAuditor`] — checks recorded event streams against the
+//!   protocol invariants of §2–§3 and returns typed [`Violation`]s.
 
 #![warn(missing_docs)]
 
+pub mod accuracy;
+pub mod audit;
 pub mod chrome;
 pub mod clock;
 pub mod event;
@@ -29,6 +36,8 @@ pub mod metrics;
 pub mod recorder;
 pub mod span;
 
+pub use accuracy::{AccuracyPoint, AccuracyReport, AccuracySummary, ViewAccuracyProbe};
+pub use audit::{AuditReport, ProtocolAuditor, Violation};
 pub use clock::WallClock;
 pub use event::{EventRecord, ProtocolEvent};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};

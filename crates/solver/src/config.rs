@@ -203,6 +203,14 @@ pub struct SolverConfig {
     /// paper's mechanisms trade off against traffic). Decision-time errors
     /// are always recorded.
     pub coherence_probe: Option<SimDuration>,
+    /// Instrumentation: maintain a
+    /// [`ViewAccuracyProbe`](loadex_obs::ViewAccuracyProbe) across the run —
+    /// ground truth vs. every process's believed view, time-weighted view
+    /// error/staleness integrals, and decision-regret replay at every
+    /// dynamic slave selection. Pure bookkeeping: enabling it changes no
+    /// scheduling outcome. The result lands in
+    /// [`RunReport::accuracy`](crate::report::RunReport::accuracy).
+    pub accuracy: bool,
     /// Leader-election criterion for the snapshot mechanism (a §5
     /// perspective: the paper conjectures the criterion matters).
     pub leader_policy: LeaderPolicy,
@@ -249,6 +257,7 @@ impl SolverConfig {
             mem_relax: 1.6,
             task_chunk: SimDuration::from_millis(1500),
             coherence_probe: None,
+            accuracy: false,
             leader_policy: LeaderPolicy::MinRank,
             snapshot_candidates: None,
             periodic_interval: SimDuration::from_millis(100),
@@ -290,6 +299,13 @@ impl SolverConfig {
     /// Builder-style: set the execution backend.
     pub fn with_backend(mut self, b: ExecBackend) -> Self {
         self.backend = b;
+        self
+    }
+
+    /// Builder-style: enable the view-accuracy probe (see
+    /// [`SolverConfig::accuracy`]).
+    pub fn with_accuracy(mut self, on: bool) -> Self {
+        self.accuracy = on;
         self
     }
 

@@ -27,11 +27,11 @@ use crate::report::{Activity, ProcReport, RunReport, Timeline};
 use crate::sched;
 use crate::work::{self, Task, TaskKind};
 use loadex_core::{
-    AnyMechanism, ChangeOrigin, Gate, Load, MechKind, Mechanism, Notify, OutMsg, Outbox, StateMsg,
-    Threshold,
+    AnyMechanism, ChangeOrigin, Gate, Load, LoadTable, MechKind, Mechanism, Notify, OutMsg, Outbox,
+    StateMsg, Threshold,
 };
 use loadex_net::{Channel, SimNetwork};
-use loadex_obs::{MetricsRegistry, ProtocolEvent, Recorder};
+use loadex_obs::{MetricsRegistry, ProtocolEvent, Recorder, ViewAccuracyProbe};
 use loadex_sim::{
     ActorId, Scheduler, SimDuration, SimTime, StatSet, TimeWeightedGauge, Welford, World,
 };
@@ -176,6 +176,10 @@ pub struct SolverWorld {
     coh_time_mem: Welford,
     coh_dec_work: Welford,
     coh_dec_mem: Welford,
+    /// View-accuracy probe (enabled by [`SolverConfig::accuracy`]): ground
+    /// truth vs. believed views, staleness, decision regret. Pure
+    /// bookkeeping — it schedules nothing and never changes a decision.
+    probe: Option<ViewAccuracyProbe>,
     // Observability (see [`SolverWorld::set_recorder`]).
     recorder: Recorder,
     metrics: MetricsRegistry,
@@ -260,6 +264,7 @@ impl SolverWorld {
             coh_time_mem: Welford::default(),
             coh_dec_work: Welford::default(),
             coh_dec_mem: Welford::default(),
+            probe: None,
             recorder: Recorder::disabled(),
             metrics: MetricsRegistry::new(),
         };
@@ -285,6 +290,25 @@ impl SolverWorld {
         // kick time; handled in `kick`.
         world.procs = std::mem::take(&mut procs);
         world.committed_work = world.plan.init_work.clone();
+        if world.cfg.accuracy {
+            // Seed the probe with the initial ground truth and each
+            // mechanism's (possibly pre-seeded) starting view.
+            let mut probe = ViewAccuracyProbe::new(nprocs);
+            for q in 0..nprocs {
+                let l = world.true_load(q);
+                probe.set_truth(SimTime::ZERO, q, l.work, l.mem);
+            }
+            for p in 0..nprocs {
+                let view = world.procs[p].mech.view();
+                for q in 0..nprocs {
+                    if q != p {
+                        let l = view.get(ActorId(q));
+                        probe.set_belief(SimTime::ZERO, p, q, l.work, l.mem);
+                    }
+                }
+            }
+            world.probe = Some(probe);
+        }
         world
     }
 
@@ -362,6 +386,20 @@ impl SolverWorld {
                 ProtocolEvent::MemFree { entries: -delta }
             }
         });
+        self.touch_truth(p, now);
+    }
+
+    /// Re-read the ground truth of `q` into the accuracy probe (no-op when
+    /// the probe is off). Call after every `committed_work`/`true_mem`
+    /// mutation.
+    fn touch_truth(&mut self, q: usize, now: SimTime) {
+        if self.probe.is_none() {
+            return;
+        }
+        let l = self.true_load(q);
+        if let Some(probe) = self.probe.as_mut() {
+            probe.set_truth(now, q, l.work, l.mem);
+        }
     }
 
     /// Ground-truth memory of each process (for coherence checks in tests).
@@ -400,6 +438,9 @@ impl SolverWorld {
         }
         self.coh_time_work = work;
         self.coh_time_mem = mem;
+        if let Some(probe) = self.probe.as_mut() {
+            probe.sample(now);
+        }
         if self.done_at.is_none() {
             sched.schedule_at(now + period, ActorId(0), Ev::Probe);
         }
@@ -586,12 +627,28 @@ impl SolverWorld {
         charge: bool,
         sched: &mut Scheduler<'_, Ev>,
     ) {
+        // Which peers does this message carry load information about? Must be
+        // computed before the mechanism consumes the message.
+        let subjects = if self.probe.is_some() {
+            msg.subjects(from, ActorId(p))
+        } else {
+            Vec::new()
+        };
         let notifies = {
             let proc = &mut self.procs[p];
             proc.mech.on_state_msg(from, msg, &mut proc.outbox)
         };
         if charge {
             self.procs[p].overhead += self.cfg.state_msg_cost;
+        }
+        if let Some(probe) = self.probe.as_mut() {
+            let view = self.procs[p].mech.view();
+            for q in subjects {
+                if q.index() != p {
+                    let l = view.get(q);
+                    probe.set_belief(now, p, q.index(), l.work, l.mem);
+                }
+            }
         }
         self.flush_outbox(p, now, sched);
         self.handle_notifies(p, now, notifies, sched);
@@ -754,8 +811,8 @@ impl SolverWorld {
         let ef = self.ef();
         let mem_per_row = m * ef;
         let work_per_row = self.slave_flops_per_row(node);
+        let allowed = self.procs[p].decision_candidates.take();
         let shares = {
-            let allowed = self.procs[p].decision_candidates.take();
             let view = self.procs[p].mech.view();
             sched::select_slaves_among(
                 &self.cfg,
@@ -766,6 +823,27 @@ impl SolverWorld {
                 allowed.as_deref(),
             )
         };
+        // Decision regret: replay the same selection against the ground
+        // truth (before this decision commits) and record whether staleness
+        // changed the outcome.
+        if self.probe.is_some() {
+            let mut truth_view = LoadTable::new(ActorId(p), self.cfg.nprocs);
+            for q in 0..self.cfg.nprocs {
+                truth_view.set(ActorId(q), self.true_load(q));
+            }
+            let r = sched::selection_regret(
+                &self.cfg,
+                &truth_view,
+                &shares,
+                ncb,
+                mem_per_row,
+                work_per_row,
+                allowed.as_deref(),
+            );
+            if let Some(probe) = self.probe.as_mut() {
+                probe.record_decision(r.mismatch, r.gap);
+            }
+        }
         let assignments: Vec<(ActorId, Load)> = shares
             .iter()
             .map(|s| {
@@ -778,10 +856,22 @@ impl SolverWorld {
         for s in &shares {
             self.committed_work[s.slave.index()] += work_per_row * s.rows as f64;
         }
+        for s in &shares {
+            self.touch_truth(s.slave.index(), now);
+        }
         let notifies = {
             let proc = &mut self.procs[p];
             proc.mech.complete_decision(&assignments, &mut proc.outbox)
         };
+        if let Some(probe) = self.probe.as_mut() {
+            // The master just applied its own assignments to its view: its
+            // beliefs about the selected slaves are refreshed.
+            let view = self.procs[p].mech.view();
+            for s in &shares {
+                let l = view.get(s.slave);
+                probe.set_belief(now, p, s.slave.index(), l.work, l.mem);
+            }
+        }
         self.recorder
             .emit_with(now, ActorId(p), || ProtocolEvent::DecisionComplete {
                 node: node as u64,
@@ -811,6 +901,7 @@ impl SolverWorld {
             self.set_mem(p, now, alloc);
             let flops = self.tree.flops(node as usize);
             self.committed_work[p] += flops;
+            self.touch_truth(p, now);
             self.local_change(p, now, Load::new(flops, alloc), ChangeOrigin::Local, sched);
             if parent_owner.is_some() {
                 self.announce_plan(p, now, node, 1, sched);
@@ -824,6 +915,7 @@ impl SolverWorld {
             self.set_mem(p, now, pm);
             let mflops = self.master_flops(node);
             self.committed_work[p] += mflops;
+            self.touch_truth(p, now);
             self.local_change(p, now, Load::new(mflops, pm), ChangeOrigin::Local, sched);
             if parent_owner.is_some() {
                 self.announce_plan(p, now, node, shares.len() as u32, sched);
@@ -907,6 +999,7 @@ impl SolverWorld {
                 let share_flops = self.tree.flops(node as usize) / self.cfg.nprocs as f64;
                 self.set_mem(p, now, share_mem);
                 self.committed_work[p] += share_flops;
+                self.touch_truth(p, now);
                 self.local_change(
                     p,
                     now,
@@ -955,6 +1048,7 @@ impl SolverWorld {
                 // Workload is charged at activation (§4.2.2); memory at task
                 // start (assembly).
                 self.committed_work[p] += flops;
+                self.touch_truth(p, now);
                 self.local_change(p, now, Load::work(flops), ChangeOrigin::Local, sched);
                 let t = self.task(TaskKind::Type1, v, flops);
                 self.procs[p].ready.push_back(t);
@@ -981,6 +1075,7 @@ impl SolverWorld {
                 }
                 self.set_mem(p, now, share_mem);
                 self.committed_work[p] += share_flops;
+                self.touch_truth(p, now);
                 self.local_change(
                     p,
                     now,
@@ -1346,6 +1441,7 @@ impl SolverWorld {
         let seg = task.remaining.min(self.chunk_flops());
         task.remaining -= seg;
         self.committed_work[p] -= seg;
+        self.touch_truth(p, now);
         let origin = match task.kind {
             TaskKind::Type2Slave { .. } => ChangeOrigin::SlaveTask,
             _ => ChangeOrigin::Local,
@@ -1518,6 +1614,13 @@ impl SolverWorld {
             snapshots_started,
             procs,
             counters,
+            accuracy: self.probe.as_ref().map(|probe| {
+                // Close the integrals at the horizon on a copy: report() can
+                // be called repeatedly without double-counting.
+                let mut probe = probe.clone();
+                probe.finish(self.done_at.unwrap_or(self.finished_at));
+                probe.report()
+            }),
         }
     }
 }

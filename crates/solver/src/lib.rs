@@ -44,5 +44,4 @@ pub use config::{CommMode, ExecBackend, SolverConfig, Strategy, ThreadedBackend}
 pub use error::{ConfigError, RunError};
 pub use mapping::{NodeType, TreePlan};
 pub use report::RunReport;
-#[allow(deprecated)]
-pub use run::{run, run_experiment, run_experiment_observed, run_observed, Runtime};
+pub use run::{run, run_observed, Runtime};

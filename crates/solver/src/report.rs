@@ -5,7 +5,7 @@
 //! successor to `tables_output.txt`.
 
 use loadex_obs::span::{self, Span, SpanState};
-use loadex_obs::MetricsSnapshot;
+use loadex_obs::{AccuracyReport, MetricsSnapshot};
 use loadex_sim::{SimDuration, SimTime, StatSet, Welford};
 use serde::{ser::JsonMap, Serialize};
 
@@ -92,6 +92,11 @@ pub struct RunReport {
     /// view-staleness histograms when the run was observed (see
     /// [`SolverWorld::set_recorder`](crate::engine::SolverWorld::set_recorder)).
     pub metrics: MetricsSnapshot,
+    /// View-accuracy report — ground-truth vs. believed views, staleness,
+    /// and decision regret (`None` unless
+    /// [`SolverConfig::accuracy`](crate::config::SolverConfig::accuracy) was
+    /// set).
+    pub accuracy: Option<AccuracyReport>,
 }
 
 impl RunReport {
@@ -211,7 +216,8 @@ impl Serialize for RunReport {
                 welford_fields(&self.view_err_decision_mem, o)
             })
             .field("procs", &self.procs)
-            .field("metrics", &self.metrics);
+            .field("metrics", &self.metrics)
+            .field("accuracy", &self.accuracy);
         m.end();
     }
 }
@@ -251,6 +257,7 @@ mod tests {
             view_err_decision_mem: Welford::default(),
             timelines: vec![],
             metrics: Default::default(),
+            accuracy: None,
         };
         assert_eq!(r.mem_peak_entries(), 7e6);
         assert!((r.mem_peak_millions() - 7.0).abs() < 1e-9);
@@ -278,6 +285,7 @@ mod tests {
             view_err_decision_mem: Welford::default(),
             timelines: vec![],
             metrics: Default::default(),
+            accuracy: None,
         };
         assert_eq!(r.efficiency(), 0.0);
         assert_eq!(r.mem_peak_entries(), 0.0);

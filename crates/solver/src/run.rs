@@ -102,31 +102,6 @@ pub fn run_observed(
     Runtime::new(cfg.clone())?.run_observed(tree, recorder)
 }
 
-/// Run a full simulated factorization of `tree` under `cfg` and report the
-/// measurements.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run` (or `Runtime::run`), which returns `Result<RunReport, RunError>` \
-            instead of panicking"
-)]
-pub fn run_experiment(tree: &AssemblyTree, cfg: &SolverConfig) -> RunReport {
-    run(tree, cfg).unwrap_or_else(|e| panic!("{e}"))
-}
-
-/// Observed variant of [`run_experiment`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run_observed` (or `Runtime::run_observed`), which returns \
-            `Result<RunReport, RunError>` instead of panicking"
-)]
-pub fn run_experiment_observed(
-    tree: &AssemblyTree,
-    cfg: &SolverConfig,
-    recorder: Recorder,
-) -> RunReport {
-    run_observed(tree, cfg, recorder).unwrap_or_else(|e| panic!("{e}"))
-}
-
 /// Drive the discrete-event backend to completion.
 fn run_sim(
     tree: &AssemblyTree,
@@ -277,16 +252,6 @@ mod tests {
             Err(RunError::Config(ConfigError::ZeroProcs))
         ));
         assert!(Runtime::new(c).is_err());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_run() {
-        let t = small_tree();
-        let r = run_experiment(&t, &cfg(2, MechKind::Naive));
-        assert!(r.factor_time > SimTime::ZERO);
-        let r = run_experiment_observed(&t, &cfg(2, MechKind::Naive), Recorder::disabled());
-        assert!(r.factor_time > SimTime::ZERO);
     }
 
     #[test]

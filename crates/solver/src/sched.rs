@@ -200,6 +200,65 @@ pub fn select_slaves_among(
     shares
 }
 
+/// Outcome of replaying one dynamic slave selection against the ground
+/// truth: did the believed view pick different slaves, and how much worse
+/// (in the strategy's own metric) were the picks?
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RegretSample {
+    /// The believed-view selection differs from the ground-truth selection.
+    pub mismatch: bool,
+    /// Rows-weighted mean true load level of the chosen slaves minus that of
+    /// the ideal slaves, in the strategy's metric (flops for workload-based,
+    /// entries for memory-based). Clamped at 0: a luckily-better pick is not
+    /// negative regret.
+    pub gap: f64,
+}
+
+/// Replay a slave selection against the **ground-truth** view and measure
+/// the decision regret (what the paper's view staleness actually costs).
+///
+/// `chosen` is the selection the mechanism's believed view produced; the
+/// ideal selection re-runs [`select_slaves_among`] with the same parameters
+/// on `truth`. Deterministic tie-breaking on both sides makes `mismatch`
+/// exact: identical views always produce identical selections.
+pub fn selection_regret(
+    cfg: &SolverConfig,
+    truth: &LoadTable,
+    chosen: &[Share],
+    ncb_rows: u32,
+    mem_per_row: f64,
+    work_per_row: f64,
+    allowed: Option<&[ActorId]>,
+) -> RegretSample {
+    let ideal = select_slaves_among(cfg, truth, ncb_rows, mem_per_row, work_per_row, allowed);
+    let canon = |shares: &[Share]| {
+        let mut v: Vec<Share> = shares.to_vec();
+        v.sort_by_key(|s| s.slave.index());
+        v
+    };
+    let mismatch = canon(chosen) != canon(&ideal);
+    let level = |p: ActorId| {
+        let l = truth.get(p);
+        match cfg.strategy {
+            Strategy::MemoryBased => l.mem,
+            Strategy::WorkloadBased => l.work,
+        }
+    };
+    let weighted = |shares: &[Share]| -> f64 {
+        let rows: f64 = shares.iter().map(|s| f64::from(s.rows)).sum();
+        if rows <= 0.0 {
+            return 0.0;
+        }
+        shares
+            .iter()
+            .map(|s| level(s.slave) * f64::from(s.rows))
+            .sum::<f64>()
+            / rows
+    };
+    let gap = (weighted(chosen) - weighted(&ideal)).max(0.0);
+    RegretSample { mismatch, gap }
+}
+
 /// A ready local task, as seen by the task selector.
 #[derive(Clone, Copy, Debug)]
 pub struct ReadyTask {
@@ -364,6 +423,42 @@ mod tests {
         let v = view(&[(0.0, 0.0), (0.0, 1.0), (0.0, 2.0), (0.0, 3.0)]);
         let shares = select_slaves(&c, &v, 200, 1.0, 1.0);
         assert!(shares.iter().all(|s| s.slave != ActorId(0)));
+    }
+
+    #[test]
+    fn regret_is_zero_when_views_agree() {
+        let c = cfg(Strategy::WorkloadBased);
+        let truth = view(&[(0.0, 0.0), (1e6, 0.0), (10.0, 0.0), (1e6, 0.0)]);
+        let chosen = select_slaves(&c, &truth, 60, 10.0, 50.0);
+        let r = selection_regret(&c, &truth, &chosen, 60, 10.0, 50.0, None);
+        assert!(!r.mismatch);
+        assert_eq!(r.gap, 0.0);
+    }
+
+    #[test]
+    fn stale_view_incurs_regret() {
+        let c = cfg(Strategy::WorkloadBased);
+        // The believed view still thinks P2 is idle; in truth P2 got loaded
+        // and P1 is now the idle one.
+        let believed = view(&[(0.0, 0.0), (1e6, 0.0), (10.0, 0.0), (1e6, 0.0)]);
+        let truth = view(&[(0.0, 0.0), (10.0, 0.0), (1e6, 0.0), (1e6, 0.0)]);
+        let chosen = select_slaves(&c, &believed, 60, 10.0, 50.0);
+        let r = selection_regret(&c, &truth, &chosen, 60, 10.0, 50.0, None);
+        assert!(r.mismatch);
+        assert!(r.gap > 0.0, "picked a truly-loaded slave: {r:?}");
+    }
+
+    #[test]
+    fn regret_gap_never_negative() {
+        let c = cfg(Strategy::WorkloadBased);
+        let truth = view(&[(0.0, 0.0), (5.0, 0.0), (5.0, 0.0), (5.0, 0.0)]);
+        // A hand-made "better than ideal" pick still reports gap 0.
+        let chosen = [Share {
+            slave: ActorId(1),
+            rows: 60,
+        }];
+        let r = selection_regret(&c, &truth, &chosen, 60, 10.0, 50.0, None);
+        assert!(r.gap >= 0.0);
     }
 
     #[test]

@@ -21,8 +21,12 @@
 //!   `assemble_children` reaches directly into the producer) become explicit
 //!   `CbFree` messages on the regular channel (not counted as application
 //!   messages: they carry no payload and exist only in this backend).
-//! * Coherence probes and view-staleness histograms are skipped: there is no
-//!   global ground truth to sample against without stopping the world.
+//! * Coherence probes (the sampled `view_err_*` Welfords) are skipped: there
+//!   is no stop-the-world instant to sample every pair against. The
+//!   [`ViewAccuracyProbe`] *is* supported, though: each worker is the
+//!   authority on its own load (truth updates ride the same `local_change`
+//!   funnel the mechanism sees), so the shared probe holds an
+//!   eventually-exact ground truth whose only skew is real message latency.
 //!   `snapshot_duration_ns` is still recorded (wall time mapped back to
 //!   simulated time), and the report uses the same counter and gauge keys as
 //!   the simulator, so downstream table code is backend-agnostic.
@@ -35,11 +39,11 @@ use crate::report::{Activity, ProcReport, RunReport, Timeline};
 use crate::sched;
 use crate::work::{self, Task, TaskKind};
 use loadex_core::{
-    AnyMechanism, ChangeOrigin, Dest, Gate, Load, MechKind, Mechanism, Notify, OutMsg, Outbox,
-    StateMsg,
+    AnyMechanism, ChangeOrigin, Dest, Gate, Load, LoadTable, MechKind, Mechanism, Notify, OutMsg,
+    Outbox, StateMsg,
 };
 use loadex_net::{Channel, CommEndpoint, Endpoint, Envelope, RecvError, ThreadNetwork};
-use loadex_obs::{MetricsRegistry, ProtocolEvent, Recorder, WallClock};
+use loadex_obs::{MetricsRegistry, ProtocolEvent, Recorder, ViewAccuracyProbe, WallClock};
 use loadex_sim::{ActorId, SimDuration, StatSet, TimeWeightedGauge, Welford};
 use loadex_sparse::AssemblyTree;
 use std::collections::{HashMap, VecDeque};
@@ -184,6 +188,23 @@ struct MechCell {
 
 type SharedMech = Arc<(Mutex<MechCell>, Condvar)>;
 
+/// The view-accuracy probe shared by every worker and comm thread. Lock
+/// ordering: the probe is only ever taken *after* (or without) the mech cell
+/// lock, never before it.
+type SharedProbe = Arc<Mutex<ViewAccuracyProbe>>;
+
+/// Collect the belief refreshes a just-consumed state message implies:
+/// `(subject, load)` pairs read from the receiver's post-dispatch view.
+/// Computed while the cell lock is held; applied to the probe afterwards.
+fn belief_updates(cell: &MechCell, subjects: &[ActorId], me: usize) -> Vec<(usize, Load)> {
+    let view = cell.mech.view();
+    subjects
+        .iter()
+        .filter(|q| q.index() != me)
+        .map(|q| (q.index(), view.get(*q)))
+        .collect()
+}
+
 /// The state-channel send half a flush uses: the worker's own endpoint, or
 /// the dedicated comm endpoint (§4.5's "communication thread takes the lock
 /// protecting MPI calls").
@@ -255,6 +276,7 @@ fn flush_cell(
 /// §4.5 communication thread: service the state channel every
 /// `poll` (the transport also wakes on arrival, so `poll` bounds the check
 /// period), feed the shared mechanism, and wake the worker.
+#[allow(clippy::too_many_arguments)]
 fn comm_loop(
     comm: CommEndpoint<TMsg>,
     cell: SharedMech,
@@ -263,6 +285,7 @@ fn comm_loop(
     clock: WallClock,
     poll: Duration,
     nprocs: usize,
+    probe: Option<SharedProbe>,
 ) {
     let me = comm.rank().index();
     let timer_period = {
@@ -307,6 +330,11 @@ fn comm_loop(
                     debug_assert!(false, "application traffic on the state channel");
                     continue;
                 };
+                let subjects = if probe.is_some() {
+                    msg.subjects(env.from, ActorId(me))
+                } else {
+                    Vec::new()
+                };
                 let mut g = cell.0.lock().unwrap();
                 let notifies = {
                     let MechCell { mech, outbox, .. } = &mut *g;
@@ -321,9 +349,17 @@ fn comm_loop(
                     &recorder,
                     &clock,
                 );
+                let refreshed = belief_updates(&g, &subjects, me);
                 g.notifies.extend(notifies);
                 drop(g);
                 cell.1.notify_all();
+                if let Some(probe) = probe.as_ref() {
+                    let now = clock.now();
+                    let mut pr = probe.lock().unwrap();
+                    for (q, l) in refreshed {
+                        pr.set_belief(now, me, q, l.work, l.mem);
+                    }
+                }
                 if !ok && !coord.is_done() {
                     coord.fail(RunError::Disconnected { proc: ActorId(me) });
                     break;
@@ -409,6 +445,14 @@ struct Worker<'a> {
     decision_inflight: Option<u32>,
     decision_candidates: Option<Vec<ActorId>>,
     true_mem: f64,
+    /// Outstanding committed work on this process: `plan.init_work` plus
+    /// every `local_change` work delta. Tracks the sim engine's
+    /// `committed_work[p]`, observed at receipt time rather than decision
+    /// time (the skew is the real message latency).
+    true_work: f64,
+    /// View-accuracy probe shared across all threads (`None` unless
+    /// [`SolverConfig::accuracy`] is set).
+    probe: Option<SharedProbe>,
     mem_gauge: TimeWeightedGauge,
     busy: SimDuration,
     blocked_wall: Duration,
@@ -498,6 +542,17 @@ impl Worker<'_> {
             mech.on_local_change(delta, origin, outbox);
             self.flush_locked(&mut g)
         };
+        // Every true-state change funnels through here (each `set_mem` is
+        // paired with a `local_change` carrying the same memory delta), so
+        // this is the one place the probe's ground truth needs refreshing.
+        self.true_work = (self.true_work + delta.work).max(0.0);
+        if let Some(probe) = self.probe.as_ref() {
+            let now = self.clock.now();
+            probe
+                .lock()
+                .unwrap()
+                .set_truth(now, self.p, self.true_work, self.true_mem);
+        }
         if !ok {
             self.net_fail();
         }
@@ -529,13 +584,28 @@ impl Worker<'_> {
     // ----- state messages & notifications ---------------------------------
 
     fn process_state(&mut self, from: ActorId, msg: StateMsg, charge: bool) {
-        let (notifies, ok) = {
-            let mut g = self.cell.0.lock().unwrap();
-            let MechCell { mech, outbox, .. } = &mut *g;
-            let n = mech.on_state_msg(from, msg, outbox);
-            let ok = self.flush_locked(&mut g);
-            (n, ok)
+        let subjects = if self.probe.is_some() {
+            msg.subjects(from, ActorId(self.p))
+        } else {
+            Vec::new()
         };
+        let (notifies, refreshed, ok) = {
+            let mut g = self.cell.0.lock().unwrap();
+            let n = {
+                let MechCell { mech, outbox, .. } = &mut *g;
+                mech.on_state_msg(from, msg, outbox)
+            };
+            let ok = self.flush_locked(&mut g);
+            let refreshed = belief_updates(&g, &subjects, self.p);
+            (n, refreshed, ok)
+        };
+        if let Some(probe) = self.probe.as_ref() {
+            let now = self.clock.now();
+            let mut pr = probe.lock().unwrap();
+            for (q, l) in refreshed {
+                pr.set_belief(now, self.p, q, l.work, l.mem);
+            }
+        }
         if charge {
             self.overhead += self.cfg.state_msg_cost;
         }
@@ -739,7 +809,7 @@ impl Worker<'_> {
         let mem_per_row = m * ef;
         let work_per_row = work::slave_flops_per_row(self.tree, node);
         let allowed = self.decision_candidates.take();
-        let (shares, notifies, ok) = {
+        let (shares, notifies, refreshed, ok) = {
             let mut g = self.cell.0.lock().unwrap();
             let shares = sched::select_slaves_among(
                 self.cfg,
@@ -763,8 +833,44 @@ impl Worker<'_> {
                 mech.complete_decision(&assignments, outbox)
             };
             let ok = self.flush_locked(&mut g);
-            (shares, notifies, ok)
+            // The master just applied its own assignments to its view: its
+            // beliefs about the selected slaves are refreshed.
+            let refreshed = if self.probe.is_some() {
+                let view = g.mech.view();
+                shares
+                    .iter()
+                    .map(|s| (s.slave.index(), view.get(s.slave)))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            (shares, notifies, refreshed, ok)
         };
+        if let Some(probe) = self.probe.as_ref() {
+            let now = self.clock.now();
+            let mut pr = probe.lock().unwrap();
+            // Decision regret: replay the same selection against the shared
+            // ground truth (which does not yet include this decision — the
+            // slaves commit their shares at receipt) and record whether
+            // staleness changed the outcome.
+            let mut truth_view = LoadTable::new(ActorId(self.p), self.cfg.nprocs);
+            for (q, &(w, mem)) in pr.truth_vector().iter().enumerate() {
+                truth_view.set(ActorId(q), Load::new(w, mem));
+            }
+            let r = sched::selection_regret(
+                self.cfg,
+                &truth_view,
+                &shares,
+                ncb,
+                mem_per_row,
+                work_per_row,
+                allowed.as_deref(),
+            );
+            pr.record_decision(r.mismatch, r.gap);
+            for (q, l) in refreshed {
+                pr.set_belief(now, self.p, q, l.work, l.mem);
+            }
+        }
         self.recorder
             .emit_with(self.clock.now(), ActorId(self.p), || {
                 ProtocolEvent::DecisionComplete {
@@ -1329,6 +1435,28 @@ pub(crate) fn run(
         })
         .collect();
     let endpoints = ThreadNetwork::new::<TMsg>(nprocs);
+    let probe: Option<SharedProbe> = if cfg.accuracy {
+        // Seed with the initial ground truth (the static mapping's subtree
+        // work, no memory yet) and each mechanism's pre-seeded starting
+        // view, exactly like the sim engine.
+        let mut probe = ViewAccuracyProbe::new(nprocs);
+        for (q, &w) in plan.init_work.iter().enumerate() {
+            probe.set_truth(loadex_sim::SimTime::ZERO, q, w, 0.0);
+        }
+        for (p, cell) in cells.iter().enumerate() {
+            let g = cell.0.lock().unwrap();
+            let view = g.mech.view();
+            for q in 0..nprocs {
+                if q != p {
+                    let l = view.get(ActorId(q));
+                    probe.set_belief(loadex_sim::SimTime::ZERO, p, q, l.work, l.mem);
+                }
+            }
+        }
+        Some(Arc::new(Mutex::new(probe)))
+    } else {
+        None
+    };
 
     let mut outcomes: Vec<Option<WorkerOutcome>> = (0..nprocs).map(|_| None).collect();
     let mut worker_panic: Option<usize> = None;
@@ -1348,6 +1476,7 @@ pub(crate) fn run(
                 let comm = ep.comm_half();
                 let ccell = Arc::clone(&cell);
                 let crecorder = recorder.clone();
+                let cprobe = probe.clone();
                 comms.push(s.spawn(move || {
                     comm_loop(
                         comm,
@@ -1357,10 +1486,12 @@ pub(crate) fn run(
                         clock,
                         t.poll_interval,
                         nprocs,
+                        cprobe,
                     )
                 }));
             }
             let wrecorder = recorder.clone();
+            let wprobe = probe.clone();
             workers.push(s.spawn(move || {
                 let _guard = PanicGuard { coord, p };
                 let mut w = Worker {
@@ -1386,6 +1517,8 @@ pub(crate) fn run(
                     decision_inflight: None,
                     decision_candidates: None,
                     true_mem: 0.0,
+                    true_work: plan.init_work[p],
+                    probe: wprobe,
                     mem_gauge: TimeWeightedGauge::new(loadex_sim::SimTime::ZERO, 0.0),
                     busy: SimDuration::ZERO,
                     blocked_wall: Duration::ZERO,
@@ -1518,6 +1651,12 @@ pub(crate) fn run(
         snapshot_max_concurrent as f64,
     );
 
+    let accuracy = probe.map(|probe| {
+        let mut pr = probe.lock().unwrap().clone();
+        pr.finish(factor_time);
+        pr.report()
+    });
+
     Ok(RunReport {
         backend: "threaded",
         factor_time,
@@ -1538,5 +1677,6 @@ pub(crate) fn run(
         timelines: outs.iter().map(|o| o.timeline.clone()).collect(),
         procs,
         metrics,
+        accuracy,
     })
 }

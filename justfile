@@ -29,6 +29,15 @@ fmt:
 tables:
     cargo run --release --offline -p loadex-bench --bin tables -- --all
 
+# The accuracy-vs-cost table: view error, staleness and decision regret
+# against state-message cost for each mechanism.
+accuracy-tables:
+    cargo run --release --offline -p loadex-bench --bin tables -- --accuracy
+
+# Same table at smoke-test size.
+accuracy-tables-quick:
+    cargo run --release --offline -p loadex-bench --bin tables -- --accuracy --quick
+
 # One observed experiment with full trace/metrics/event exports.
 trace matrix="TWOTONE" procs="16" mech="snapshot":
     cargo run --release --offline -p loadex-bench --bin run -- \

@@ -19,5 +19,12 @@ run cargo test --workspace --offline -q
 run timeout 300 cargo test --offline --test threaded_backend -q
 run cargo clippy --workspace --offline -- -D warnings
 run cargo fmt --check
+# Strict protocol-invariant audit over one seeded run per mechanism: the
+# auditor replays the recorded event stream and any violation (snapshot
+# pairing, clock monotonicity, reservation totals, ...) fails the gate.
+for mech in naive increments snapshot; do
+    run cargo run --release --offline -p loadex-bench --bin run -- \
+        --matrix TWOTONE --procs 8 --mech "$mech" --audit
+done
 
 echo "All checks passed."

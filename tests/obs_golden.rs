@@ -96,6 +96,34 @@ fn exports_are_well_formed_and_metrics_match_report() {
 }
 
 #[test]
+fn jsonl_round_trips_through_the_parser() {
+    let tree = small_tree();
+    let c = cfg();
+    let rec = Recorder::enabled();
+    let _ = run_observed(&tree, &c, rec.clone()).unwrap();
+    let events = rec.take();
+    assert!(!events.is_empty());
+
+    let text = jsonl::to_string(&events);
+    let parsed = jsonl::parse(&text).expect("exporter output must parse");
+    assert_eq!(
+        parsed, events,
+        "parse(to_string(events)) must reproduce the records"
+    );
+
+    // And the round trip is a fixed point: re-serializing the parsed records
+    // yields the same bytes.
+    assert_eq!(jsonl::to_string(&parsed), text);
+
+    // Blank lines are tolerated, garbage is a positioned error.
+    let padded = format!("\n{text}\n\n");
+    assert_eq!(jsonl::parse(&padded).unwrap(), events);
+    let bad = format!("{text}not json\n");
+    let err = jsonl::parse(&bad).unwrap_err();
+    assert_eq!(err.line, events.len() + 1, "error reports the 1-based line");
+}
+
+#[test]
 fn disabled_recorder_changes_nothing() {
     let tree = small_tree();
     let c = cfg();

@@ -1,0 +1,65 @@
+//! Property tests of the metrics registry's log-scale histograms: every
+//! sample must land in the bucket whose bounds contain it, and quantiles
+//! must be monotone in the requested rank.
+
+use loadex::obs::Histogram;
+use proptest::prelude::*;
+
+/// A positive sample spanning the histogram's whole exponent range, built
+/// from an exponent and a mantissa so buckets are hit uniformly (a plain
+/// uniform range would all but ignore the small buckets).
+fn sample(e: i32, m: f64) -> f64 {
+    m * (e as f64).exp2()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn samples_land_in_their_containing_bucket(e in -30i32..60, m in 1.0f64..2.0) {
+        let v = sample(e, m);
+        let i = Histogram::bucket_index(v);
+        let lo = Histogram::bucket_lower_bound(i);
+        let hi = Histogram::bucket_lower_bound(i + 1);
+        prop_assert!(lo <= v && v < hi, "{} not in [{}, {}) (bucket {})", v, lo, hi, i);
+    }
+
+    #[test]
+    fn observe_increments_exactly_the_containing_bucket(
+        picks in prop::collection::vec((-30i32..60, 1.0f64..2.0), 1..64),
+    ) {
+        let mut h = Histogram::new();
+        let mut expect = vec![0u64; Histogram::new().buckets().len()];
+        for &(e, m) in &picks {
+            let v = sample(e, m);
+            h.observe(v);
+            expect[Histogram::bucket_index(v)] += 1;
+        }
+        prop_assert_eq!(h.count(), picks.len() as u64);
+        prop_assert_eq!(h.buckets().to_vec(), expect);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        picks in prop::collection::vec((-30i32..60, 1.0f64..2.0), 1..64),
+        qs in prop::collection::vec(0.0f64..1.0, 2..8),
+    ) {
+        let mut h = Histogram::new();
+        for &(e, m) in &picks {
+            h.observe(sample(e, m));
+        }
+        let mut qs = qs;
+        qs.push(0.0);
+        qs.push(1.0);
+        qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let quants: Vec<f64> = qs.iter().map(|&q| h.quantile(q)).collect();
+        for w in quants.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles not monotone: {} > {}", w[0], w[1]);
+        }
+        // The extreme quantiles bracket the data at bucket resolution: each
+        // reports the lower bound of the bucket holding its rank.
+        prop_assert!(h.quantile(0.0) <= h.min());
+        prop_assert!(h.quantile(1.0) <= h.max());
+        prop_assert!(h.quantile(1.0) >= h.max() / 2.0, "upper bucket floor within 2x of max");
+    }
+}
